@@ -1,0 +1,308 @@
+// Command noctool regenerates every table and figure of the paper from
+// the gonoc library:
+//
+//	noctool tables            Tables I and II and the MTTF analysis (Eq. 4–7)
+//	noctool spf               Table III and the SPF-vs-VC sweep
+//	noctool campaign          Monte-Carlo faults-to-failure for all designs
+//	noctool area              Section VI-A area/power overheads
+//	noctool critpath          Section VI-B critical-path analysis
+//	noctool latency           Figures 7 and 8 (SPLASH-2 / PARSEC latency)
+//	noctool sim               Free-form simulation with synthetic traffic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gonoc/internal/experiments"
+	"gonoc/internal/fault"
+	"gonoc/internal/noc"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/tracefile"
+	"gonoc/internal/traffic"
+	"gonoc/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "tables":
+		fmt.Print(experiments.FormatReliability(experiments.Reliability()))
+	case "spf":
+		err = runSPF(args)
+	case "campaign":
+		err = runCampaign(args)
+	case "area":
+		a := experiments.Area()
+		fmt.Print(experiments.FormatArea(a))
+	case "critpath":
+		a := experiments.Area()
+		fmt.Print(experiments.FormatArea(a))
+	case "latency":
+		err = runLatency(args)
+	case "sim":
+		err = runSim(args)
+	case "ablation":
+		err = runAblation(args)
+	case "record":
+		err = runRecord(args)
+	case "replay":
+		err = runReplay(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "noctool: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noctool %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: noctool <command> [flags]
+
+commands:
+  tables     print Tables I and II and the MTTF analysis (Eq. 4-7)
+  spf        print Table III and the SPF-vs-VC sweep
+  campaign   Monte-Carlo faults-to-failure campaigns for all designs
+  area       print Section VI-A area/power overheads + VI-B critical path
+  critpath   alias of area
+  latency    run the Figure 7/8 latency study (-suite splash2|parsec|both)
+  sim        run a synthetic-traffic simulation (see -h for flags)
+  ablation   design-choice sweeps (bypass rotation, VC count, secondary path)
+  record     record a workload's offered packets to a trace file
+  replay     replay a recorded trace (optionally with faults)`)
+}
+
+func runSPF(args []string) error {
+	fs := flag.NewFlagSet("spf", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSPF(experiments.SPFTable()))
+	fmt.Println()
+	fmt.Println("SPF vs virtual channel count (Section VIII-E)")
+	for _, r := range experiments.SPFVCSweep([]int{2, 3, 4, 6, 8}) {
+		fmt.Printf("  %-26s mean faults %5.1f  SPF %5.2f\n", r.Design, r.MeanFaults, r.SPF)
+	}
+	return nil
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Monte-Carlo faults-to-failure (%d trials)\n", *trials)
+	for _, r := range experiments.CampaignTable(*trials, *seed) {
+		fmt.Printf("  %-16s mean %5.2f  min %2d  max %2d\n", r.Design, r.Mean, r.Min, r.Max)
+	}
+	return nil
+}
+
+func runLatency(args []string) error {
+	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
+	suite := fs.String("suite", "both", "splash2, parsec or both")
+	seed := fs.Uint64("seed", 2014, "random seed")
+	faultMean := fs.Uint64("fault-mean", 20000, "mean cycles between faults per (router, stage)")
+	measure := fs.Uint64("measure", 25000, "measured cycles after warmup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultLatencyConfig()
+	cfg.Seed = *seed
+	cfg.FaultMean = sim.Cycle(*faultMean)
+	cfg.Measure = sim.Cycle(*measure)
+	if *suite == "splash2" || *suite == "both" {
+		fmt.Print(experiments.FormatSuite(experiments.Figure7(cfg)))
+	}
+	if *suite == "parsec" || *suite == "both" {
+		fmt.Print(experiments.FormatSuite(experiments.Figure8(cfg)))
+	}
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	width := fs.Int("width", 8, "mesh width")
+	height := fs.Int("height", 8, "mesh height")
+	rate := fs.Float64("rate", 0.02, "packets per node per cycle")
+	pattern := fs.String("pattern", "uniform", "uniform, transpose, bitcomp, tornado, neighbor, hotspot")
+	cycles := fs.Uint64("cycles", 50000, "cycles to simulate")
+	warmup := fs.Uint64("warmup", 5000, "warmup cycles")
+	seed := fs.Uint64("seed", 1, "random seed")
+	faultMean := fs.Uint64("fault-mean", 0, "mean cycles between faults (0 = fault-free)")
+	baseline := fs.Bool("baseline", false, "use the unprotected baseline router")
+	heatmap := fs.Bool("heatmap", false, "print a router-load heatmap at the end")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = !*baseline
+	mesh := topology.NewMesh(*width, *height)
+	var dest traffic.DestFn
+	switch *pattern {
+	case "uniform":
+		dest = traffic.Uniform(mesh.Nodes())
+	case "transpose":
+		dest = traffic.Transpose(mesh)
+	case "bitcomp":
+		dest = traffic.BitComplement(mesh)
+	case "tornado":
+		dest = traffic.Tornado(mesh)
+	case "neighbor":
+		dest = traffic.Neighbor(mesh)
+	case "hotspot":
+		dest = traffic.Hotspot(mesh.Nodes(), []int{0, mesh.Nodes() - 1}, 0.3)
+	default:
+		return fmt.Errorf("unknown pattern %q", *pattern)
+	}
+	src := traffic.NewSynthetic(mesh.Nodes(), *rate, dest, traffic.Bimodal(1, 5, 0.6), *seed)
+	n, err := noc.New(noc.Config{
+		Width: *width, Height: *height, Router: rc, Warmup: sim.Cycle(*warmup),
+	}, src)
+	if err != nil {
+		return err
+	}
+	if *faultMean > 0 {
+		fault.NewInjector(n, sim.Cycle(*faultMean), *seed^0xabcdef, true)
+	}
+	n.Run(sim.Cycle(*cycles))
+	st := n.Stats()
+	fmt.Printf("cycles:        %d\n", n.Now())
+	fmt.Printf("packets:       %d created, %d delivered, %d in flight\n",
+		st.Created(), st.Ejected(), st.InFlight())
+	fmt.Printf("avg latency:   %.2f cycles (network %.2f)\n", st.AvgLatency(), st.AvgNetworkLatency())
+	fmt.Printf("p50/p95/p99:   %.0f / %.0f / %.0f cycles\n",
+		st.Percentile(50), st.Percentile(95), st.Percentile(99))
+	fmt.Printf("throughput:    %.4f flits/node/cycle\n",
+		st.ThroughputFlits(n.Now())/float64(mesh.Nodes()))
+	fmt.Printf("functional:    %v\n", n.Functional())
+	if *heatmap {
+		fmt.Print(n.Heatmap())
+	}
+	return nil
+}
+
+// runRecord records the offered packets of a workload to a trace file.
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("o", "trace.csv", "output trace file")
+	app := fs.String("app", "fft", "workload application name (any SPLASH-2/PARSEC app)")
+	cycles := fs.Uint64("cycles", 20000, "cycles to record")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof, err := findApp(*app)
+	if err != nil {
+		return err
+	}
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	mesh := topology.NewMesh(8, 8)
+	src := workloads.NewCoherence(prof, mesh, *seed)
+	rec := tracefile.NewRecorder(src)
+	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, rec)
+	n.Run(sim.Cycle(*cycles))
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tracefile.Write(f, rec.Entries()); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d packets over %d cycles to %s\n", len(rec.Entries()), *cycles, *out)
+	return nil
+}
+
+// runReplay replays a recorded trace, optionally with fault injection.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	in := fs.String("i", "trace.csv", "input trace file")
+	faultMean := fs.Uint64("fault-mean", 0, "mean cycles between faults (0 = fault-free)")
+	limit := fs.Uint64("limit", 500000, "drain cycle limit")
+	seed := fs.Uint64("seed", 1, "random seed for fault injection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := tracefile.Read(f)
+	if err != nil {
+		return err
+	}
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, traffic.NewTrace(entries))
+	if *faultMean > 0 {
+		fault.NewInjector(n, sim.Cycle(*faultMean), *seed, true)
+	}
+	// Run past the trace horizon first, then drain the tail.
+	var horizon sim.Cycle
+	for _, e := range entries {
+		if e.Cycle > horizon {
+			horizon = e.Cycle
+		}
+	}
+	n.Run(horizon + 1)
+	if !n.Drain(sim.Cycle(*limit)) {
+		return fmt.Errorf("replay did not drain: %d packets in flight", n.Stats().InFlight())
+	}
+	st := n.Stats()
+	fmt.Printf("replayed %d packets, avg latency %.2f cycles (p95 %.0f)\n",
+		st.Ejected(), st.AvgLatency(), st.Percentile(95))
+	return nil
+}
+
+// findApp looks a profile up by name across both suites.
+func findApp(name string) (workloads.App, error) {
+	for _, a := range append(workloads.SPLASH2(), workloads.PARSEC()...) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return workloads.App{}, fmt.Errorf("unknown application %q", name)
+}
+
+// runAblation prints the design-choice ablation studies.
+func runAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ContinueOnError)
+	cycles := fs.Uint64("cycles", 20000, "cycles per configuration")
+	seed := fs.Uint64("seed", 3, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cyc := sim.Cycle(*cycles)
+	fmt.Println("bypass default-winner rotation period (SA1 faults on E/W everywhere)")
+	for _, p := range experiments.AblationRotatePeriod([]int{1, 4, 16, 64, 256}, cyc, *seed) {
+		fmt.Printf("  period %4d: avg latency %6.2f cycles, %d packets\n", p.Param, p.AvgLatency, p.Delivered)
+	}
+	fmt.Println("virtual channels per port (fault-free)")
+	for _, p := range experiments.AblationVCCount([]int{1, 2, 4, 8}, cyc, *seed) {
+		fmt.Printf("  %d VCs:       avg latency %6.2f cycles, %d packets\n", p.Param, p.AvgLatency, p.Delivered)
+	}
+	fmt.Println("crossbar secondary path (East mux faulty everywhere)")
+	res := experiments.AblationSecondaryPath(cyc, *seed)
+	fmt.Printf("  protected: %d packets delivered at %.2f cycles avg\n", res.ProtectedDelivered, res.ProtectedLatency)
+	fmt.Printf("  baseline:  %d delivered, %d wedged in-network\n", res.BaselineDelivered, res.BaselineStuck)
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFindApp(t *testing.T) {
+	for _, name := range []string{"fft", "canneal", "water", "x264"} {
+		app, err := findApp(name)
+		if err != nil || app.Name != name {
+			t.Errorf("findApp(%q) = (%v, %v)", name, app, err)
+		}
+	}
+	if _, err := findApp("nosuchapp"); err == nil {
+		t.Error("findApp accepted an unknown application")
+	}
+}
+
+func TestRunSPFAndCampaign(t *testing.T) {
+	if err := runSPF(nil); err != nil {
+		t.Fatalf("spf: %v", err)
+	}
+	if err := runCampaign([]string{"-trials", "100"}); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+}
+
+func TestRunSimSmoke(t *testing.T) {
+	args := []string{
+		"-width", "4", "-height", "4", "-cycles", "2000", "-warmup", "200",
+		"-rate", "0.02", "-pattern", "transpose", "-fault-mean", "1500", "-heatmap",
+	}
+	if err := runSim(args); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if err := runSim([]string{"-pattern", "bogus"}); err == nil {
+		t.Fatal("sim accepted an unknown pattern")
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.csv")
+	if err := runRecord([]string{"-o", trace, "-app", "water", "-cycles", "3000"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing/empty: %v", err)
+	}
+	if err := runReplay([]string{"-i", trace}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRunLatencyTiny(t *testing.T) {
+	// A drastically shortened latency run to keep the test fast.
+	if err := runLatency([]string{"-suite", "splash2", "-measure", "1500", "-fault-mean", "1200"}); err != nil {
+		t.Fatalf("latency: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package gonoc is a from-scratch Go reproduction of Poluri & Louri,
+// "An Improved Router Design for Reliable On-Chip Networks" (IEEE IPDPS
+// 2014): a cycle-accurate mesh network-on-chip simulator whose routers
+// implement the paper's per-stage fault-tolerance mechanisms, together
+// with the paper's complete evaluation — the FORC/TDDB reliability
+// framework (Tables I–II, the 6× MTTF improvement), the Silicon
+// Protection Factor comparison against BulletProof, Vicis and RoCo
+// (Table III), the 45 nm area/power/critical-path model (Section VI) and
+// the SPLASH-2/PARSEC fault-injection latency study (Figures 7–8).
+//
+// The implementation lives under internal/; the runnable entry points
+// are:
+//
+//   - cmd/noctool — regenerates every table and figure from the CLI
+//   - examples/quickstart — minimal simulation of the 8×8 protected mesh
+//   - examples/faultcampaign — per-mechanism fault tolerance walkthrough
+//   - examples/reliability — the Section VII derivation step by step
+//   - examples/spfsweep — Table III and the SPF corollaries
+//   - examples/detection — transients, accumulation and watchdog localization
+//
+// The benchmarks in bench_test.go regenerate each experiment; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package gonoc

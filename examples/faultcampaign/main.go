@@ -1,0 +1,94 @@
+// Faultcampaign demonstrates the protected router's headline property:
+// it keeps delivering packets as permanent faults accumulate, engaging a
+// different mechanism per pipeline stage (Section V), while the
+// unprotected baseline dies on its first fault.
+//
+// The program injects the paper's Section IV scenario — one fault per
+// pipeline stage — one fault at a time into a live 4×4 network, and after
+// each injection reports delivered packets, average latency and which
+// fault-tolerance mechanisms fired.
+package main
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/noc"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+func run(ft bool) {
+	kind := "baseline (unprotected)"
+	if ft {
+		kind = "protected"
+	}
+	fmt.Printf("=== %s router ===\n", kind)
+
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = ft
+	rc.Classes = 1
+	src := traffic.NewSynthetic(16, 0.03, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.5), 7)
+	n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: rc, Warmup: 0}, src)
+
+	// The Section IV scenario, applied to the central router 5: one
+	// permanent fault in each pipeline stage.
+	target := n.Router(5)
+	steps := []struct {
+		name   string
+		inject func()
+	}{
+		{"no faults", func() {}},
+		{"RC: primary RC unit of West port", func() { target.SetRCFault(topology.West, 0, true) }},
+		{"VA: arbiter set of West/VC0", func() { target.SetVA1Fault(topology.West, 0, true) }},
+		{"SA: stage-1 arbiter of West port", func() { target.SetSA1Fault(topology.West, true) }},
+		{"XB: crossbar mux of East port", func() { target.SetXBFault(topology.East, true) }},
+	}
+
+	var prevEjected uint64
+	for _, step := range steps {
+		step.inject()
+		start := n.Now()
+		n.Run(10_000)
+		st := n.Stats()
+		delivered := st.Ejected() - prevEjected
+		prevEjected = st.Ejected()
+		fmt.Printf("%-38s delivered %5d pkts in %5d cycles  functional=%v\n",
+			step.name, delivered, n.Now()-start, target.Functional())
+		if delivered == 0 && ft {
+			fmt.Println("  !! protected router stopped delivering — should not happen")
+		}
+	}
+
+	if ft {
+		c := target.Counters
+		fmt.Println("mechanism activity at router 5:")
+		fmt.Printf("  duplicate RC computations: %d\n", c.RCDuplicateUses)
+		fmt.Printf("  VA arbiter borrows:        %d (stalled %d cycles waiting for a lender)\n",
+			c.VA1Borrows, c.VA1BorrowStalls)
+		fmt.Printf("  SA bypass grants:          %d (with %d VC transfers)\n",
+			c.SABypassGrants, c.SATransfers)
+		fmt.Printf("  crossbar secondary-path:   %d traversals\n", c.XBSecondary)
+	}
+	fmt.Println()
+}
+
+func main() {
+	run(true)
+	run(false)
+
+	// Finally, the failure boundary: break both paths of one output and
+	// watch Functional() flip, exactly the SPF minimum of 2 faults.
+	fmt.Println("=== failure boundary (Section VIII-D) ===")
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	r := core.MustNew(4, topology.NewMesh(3, 3), rc)
+	fmt.Printf("fresh router functional: %v\n", r.Functional())
+	r.SetXBFault(topology.East, true)
+	fmt.Printf("after XB mux fault:      %v (secondary path covers it)\n", r.Functional())
+	r.SetXBSecondaryFault(topology.East, true)
+	fmt.Printf("after secondary fault:   %v (minimum 2 faults to fail)\n", r.Functional())
+	_ = sim.Cycle(0)
+}

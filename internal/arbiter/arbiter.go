@@ -1,0 +1,236 @@
+// Package arbiter implements the arbitration primitives used by the
+// router's separable virtual-channel and switch allocators.
+//
+// The paper's allocators (Figure 3a/3b) are built from v:1 and p:1
+// arbiters. We model them as round-robin arbiters — the standard choice in
+// NoC routers because they are small and starvation-free — plus the two
+// fault-tolerance wrappers the paper adds: a fault flag on every arbiter
+// (a permanently faulty arbiter grants nothing) and, for the first switch
+// allocation stage, a bypass path that names a rotating "default winner"
+// without arbitration (Section V-C, Figure 5).
+package arbiter
+
+import "fmt"
+
+// RoundRobin is an n-input round-robin arbiter. Each Grant scans requests
+// starting one past the previous winner, so every persistent requester is
+// served within n grants (starvation freedom).
+//
+// A faulty arbiter grants nothing: the paper's fault model makes a broken
+// arbiter unusable rather than byzantine (detection hardware is assumed to
+// flag it, Section V).
+type RoundRobin struct {
+	n      int
+	prio   int // index to scan first
+	faulty bool
+}
+
+// NewRoundRobin returns an n-input arbiter. It panics if n < 1.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic(fmt.Sprintf("arbiter: invalid width %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Inputs returns the arbiter width.
+func (a *RoundRobin) Inputs() int { return a.n }
+
+// SetFaulty marks the arbiter permanently faulty (or repairs it, for
+// testing).
+func (a *RoundRobin) SetFaulty(f bool) { a.faulty = f }
+
+// Faulty reports whether the arbiter is marked faulty.
+func (a *RoundRobin) Faulty() bool { return a.faulty }
+
+// Grant arbitrates among the requests (len must equal Inputs) and returns
+// the granted input. ok is false when the arbiter is faulty or no input is
+// requesting. A successful grant advances the priority pointer just past
+// the winner.
+func (a *RoundRobin) Grant(requests []bool) (winner int, ok bool) {
+	if len(requests) != a.n {
+		panic(fmt.Sprintf("arbiter: %d requests for %d-input arbiter", len(requests), a.n))
+	}
+	if a.faulty {
+		return -1, false
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.prio + i) % a.n
+		if requests[idx] {
+			a.prio = (idx + 1) % a.n
+			return idx, true
+		}
+	}
+	return -1, false
+}
+
+// Peek is Grant without the priority update, for lookahead logic and tests.
+func (a *RoundRobin) Peek(requests []bool) (winner int, ok bool) {
+	if len(requests) != a.n {
+		panic(fmt.Sprintf("arbiter: %d requests for %d-input arbiter", len(requests), a.n))
+	}
+	if a.faulty {
+		return -1, false
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.prio + i) % a.n
+		if requests[idx] {
+			return idx, true
+		}
+	}
+	return -1, false
+}
+
+// Bypassed is the protected first-stage switch arbiter of Figure 5: a
+// round-robin arbiter augmented with a bypass path — a 2:1 multiplexer
+// selecting between the arbiter's output and a register naming a default
+// winner. When the arbiter is faulty the bypass path "chooses an input VC
+// as the winner without arbitration"; the default winner register rotates
+// over time so no VC is starved by a static choice (Section V-C1).
+//
+// The bypass path itself (mux + register) is a fault site: with both the
+// arbiter and its bypass faulty, switch allocation at this input port is
+// impossible and the router has failed.
+type Bypassed struct {
+	Arb *RoundRobin
+	// defaultWinner is the register driving the bypass mux.
+	defaultWinner int
+	// rotatePeriod is how many bypass grants occur before the default
+	// winner advances; the paper only requires that "every input VC [be]
+	// default winner at different points of time".
+	rotatePeriod int
+	grants       int
+	bypassFaulty bool
+}
+
+// NewBypassed wraps an n-input arbiter with a bypass path. rotatePeriod
+// must be >= 1; it controls how often the default winner rotates.
+func NewBypassed(n, rotatePeriod int) *Bypassed {
+	if rotatePeriod < 1 {
+		panic(fmt.Sprintf("arbiter: invalid rotate period %d", rotatePeriod))
+	}
+	return &Bypassed{Arb: NewRoundRobin(n), rotatePeriod: rotatePeriod}
+}
+
+// SetBypassFaulty marks the bypass path (mux + register) faulty.
+func (b *Bypassed) SetBypassFaulty(f bool) { b.bypassFaulty = f }
+
+// BypassFaulty reports whether the bypass path is faulty.
+func (b *Bypassed) BypassFaulty() bool { return b.bypassFaulty }
+
+// Usable reports whether this input port can still perform first-stage
+// switch allocation: either the arbiter or the bypass path must be intact.
+func (b *Bypassed) Usable() bool { return !b.Arb.Faulty() || !b.bypassFaulty }
+
+// InBypass reports whether grants are currently served by the bypass path.
+func (b *Bypassed) InBypass() bool { return b.Arb.Faulty() && !b.bypassFaulty }
+
+// DefaultWinner returns the input currently named by the bypass register.
+func (b *Bypassed) DefaultWinner() int { return b.defaultWinner }
+
+// Grant arbitrates. In normal operation it defers to the round-robin
+// arbiter. In bypass operation it returns the default winner regardless of
+// the request vector — the caller (the router's SA stage) is responsible
+// for transferring flits into the default winner's VC when that VC is
+// empty, exactly as Section V-C1 describes. ok is false only when neither
+// path is usable.
+func (b *Bypassed) Grant(requests []bool) (winner int, ok bool) {
+	if !b.Arb.Faulty() {
+		return b.Arb.Grant(requests)
+	}
+	if b.bypassFaulty {
+		return -1, false
+	}
+	w := b.defaultWinner
+	b.grants++
+	if b.grants >= b.rotatePeriod {
+		b.grants = 0
+		b.defaultWinner = (b.defaultWinner + 1) % b.Arb.Inputs()
+	}
+	return w, true
+}
+
+// Matrix is an n-input matrix arbiter: a triangular matrix of priority
+// bits in which w[i][j] set means input i beats input j. After a grant
+// the winner moves to lowest priority (least-recently-served policy),
+// giving stronger fairness than round-robin under asymmetric request
+// patterns. Matrix arbiters are the other standard NoC arbiter (Dally &
+// Towles §18.5); gonoc's allocators default to round-robin, and this
+// implementation exists for arbitration-policy experiments.
+type Matrix struct {
+	n      int
+	w      [][]bool // w[i][j], i < j: true ⇒ i beats j
+	faulty bool
+}
+
+// NewMatrix returns an n-input matrix arbiter with initial priority
+// 0 > 1 > ... > n-1. It panics if n < 1.
+func NewMatrix(n int) *Matrix {
+	if n < 1 {
+		panic(fmt.Sprintf("arbiter: invalid width %d", n))
+	}
+	m := &Matrix{n: n, w: make([][]bool, n)}
+	for i := range m.w {
+		m.w[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.w[i][j] = true
+		}
+	}
+	return m
+}
+
+// Inputs returns the arbiter width.
+func (m *Matrix) Inputs() int { return m.n }
+
+// SetFaulty marks the arbiter permanently faulty.
+func (m *Matrix) SetFaulty(f bool) { m.faulty = f }
+
+// Faulty reports whether the arbiter is marked faulty.
+func (m *Matrix) Faulty() bool { return m.faulty }
+
+// beats reports whether input i currently has priority over input j.
+func (m *Matrix) beats(i, j int) bool {
+	if i < j {
+		return m.w[i][j]
+	}
+	return !m.w[j][i]
+}
+
+// Grant arbitrates among requests: the winner is the requesting input
+// that beats every other requesting input. A successful grant demotes
+// the winner below all other inputs.
+func (m *Matrix) Grant(requests []bool) (winner int, ok bool) {
+	if len(requests) != m.n {
+		panic(fmt.Sprintf("arbiter: %d requests for %d-input arbiter", len(requests), m.n))
+	}
+	if m.faulty {
+		return -1, false
+	}
+	for i := 0; i < m.n; i++ {
+		if !requests[i] {
+			continue
+		}
+		wins := true
+		for j := 0; j < m.n && wins; j++ {
+			if j != i && requests[j] && !m.beats(i, j) {
+				wins = false
+			}
+		}
+		if !wins {
+			continue
+		}
+		// Demote the winner below everyone.
+		for j := 0; j < m.n; j++ {
+			if j == i {
+				continue
+			}
+			if i < j {
+				m.w[i][j] = false
+			} else {
+				m.w[j][i] = true
+			}
+		}
+		return i, true
+	}
+	return -1, false
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/vc"
+)
+
+// acceptInputs applies the latched credits and buffers the latched flits.
+func (r *Router) acceptInputs() {
+	for _, c := range r.inCredits {
+		r.credits[c.Out][c.VC]++
+		if r.credits[c.Out][c.VC] > r.cfg.Depth {
+			panic(fmt.Sprintf("core: router %d credit overflow on %v/vc%d", r.ID, c.Out, c.VC))
+		}
+		if c.VCFree {
+			r.outVCBusy[c.Out][c.VC] = false
+		}
+	}
+	r.inCredits = r.inCredits[:0]
+
+	for _, inf := range r.inFlits {
+		q := r.in[inf.In].VCs[inf.VC]
+		if inf.F.Kind.IsHead() {
+			if q.G != vc.Idle {
+				panic(fmt.Sprintf("core: router %d head flit into busy VC %v/%d (G=%v)", r.ID, inf.In, inf.VC, q.G))
+			}
+			q.G = vc.Routing
+		}
+		q.Push(inf.F)
+	}
+	r.inFlits = r.inFlits[:0]
+}
+
+// rcStage performs routing computation for at most one head flit per input
+// port (each port has a single RC unit). In the protected router the
+// duplicate unit covers a faulty primary, and the SP/FSP fields are set
+// when the computed output port's regular path is unusable (Section V-D).
+func (r *Router) rcStage(sim.Cycle) {
+	for p := 0; p < r.cfg.Ports; p++ {
+		ip := r.in[p]
+		for i := 0; i < r.cfg.VCs; i++ {
+			idx := (r.rcScan[p] + i) % r.cfg.VCs
+			q := ip.VCs[idx]
+			if q.G != vc.Routing || !headReady(q) {
+				continue
+			}
+			out, ok := r.computeRoute(p, q)
+			if !ok {
+				// No fault-free RC copy: the packet is stuck. The router
+				// is no longer Functional(); leave the VC in Routing.
+				break
+			}
+			q.R = out
+			q.FSP = false
+			if r.cfg.FaultTolerant && !r.primaryPathUsable(out) {
+				if r.secondaryPathUsable(out) {
+					q.FSP = true
+					q.SP = topology.Port(r.xbProt.SecondaryOf(int(out)))
+				}
+				// If neither path works the packet waits; Functional()
+				// reports the router failed.
+			}
+			q.G = vc.VCAlloc
+			r.rcScan[p] = (idx + 1) % r.cfg.VCs
+			break // one RC per port per cycle
+		}
+	}
+}
+
+// computeRoute runs the port's RC unit, tracking duplicate use.
+func (r *Router) computeRoute(p int, q *vc.VC) (topology.Port, bool) {
+	u := r.rc[p]
+	if !u.Usable() {
+		return topology.Local, false
+	}
+	if u.Faulty(0) {
+		r.Counters.RCDuplicateUses++
+	}
+	return u.Compute(r.ID, q.Front().Pkt.Dst)
+}
+
+// primaryPathUsable reports whether output port out's regular path — its
+// SA stage-2 arbiter plus its primary crossbar multiplexer — is fault
+// free.
+func (r *Router) primaryPathUsable(out topology.Port) bool {
+	if r.sa.Stage2(int(out)).Faulty() {
+		return false
+	}
+	if r.cfg.FaultTolerant {
+		return r.xbProt.PrimaryUsable(int(out))
+	}
+	return !r.xbBase.MuxFaulty(int(out))
+}
+
+// secondaryPathUsable reports whether output out can be reached through
+// the protected crossbar's secondary path: the neighbouring mux, the
+// demux/Pk leg and the neighbouring port's SA stage-2 arbiter must all be
+// fault free. Only meaningful for the protected router.
+func (r *Router) secondaryPathUsable(out topology.Port) bool {
+	if !r.cfg.FaultTolerant {
+		return false
+	}
+	sec := r.xbProt.SecondaryOf(int(out))
+	return r.xbProt.SecondaryUsable(int(out)) && !r.sa.Stage2(sec).Faulty()
+}
+
+// vaStage runs the two-stage separable virtual-channel allocator,
+// including the protected router's arbiter borrowing.
+func (r *Router) vaStage(sim.Cycle) {
+	// Reset stage-2 request lists.
+	for p := range r.va2req {
+		for v := range r.va2req[p] {
+			r.va2req[p][v] = r.va2req[p][v][:0]
+		}
+	}
+
+	// Stage 1: each input VC in VCAlloc picks one candidate downstream VC.
+	for p := 0; p < r.cfg.Ports; p++ {
+		ip := r.in[p]
+		for v := 0; v < r.cfg.VCs; v++ {
+			q := ip.VCs[v]
+			if q.G != vc.VCAlloc {
+				continue
+			}
+			arbVC := v
+			if r.va.Stage1Faulty(p, v) {
+				if !r.cfg.FaultTolerant {
+					continue // baseline: the VC is dead
+				}
+				lender := ip.FindLender(v, func(i int) bool { return r.va.Stage1Faulty(p, i) })
+				if lender == vc.None {
+					// Scenario 2: every candidate lender is busy
+					// allocating this cycle; wait one cycle.
+					r.Counters.VA1BorrowStalls++
+					continue
+				}
+				// Deposit the borrow request in the lender's state fields
+				// (Figure 4); the allocation below acts for the borrower.
+				lq := ip.VCs[lender]
+				lq.R2 = q.R
+				lq.ID = v
+				lq.VF = true
+				arbVC = lender
+				r.Counters.VA1Borrows++
+			}
+			out := int(q.R)
+			cls := r.cfg.ClassOf(v)
+			lo, hi := r.cfg.ClassRange(cls)
+			reqs := r.reqBuf[:r.cfg.VCs]
+			for i := range reqs {
+				reqs[i] = false
+			}
+			any := false
+			for dvc := lo; dvc < hi; dvc++ {
+				if !r.outVCBusy[out][dvc] {
+					reqs[dvc] = true
+					any = true
+				}
+			}
+			if any {
+				if dvc, ok := r.va.Stage1(p, arbVC).Grant(reqs); ok {
+					r.va2req[out][dvc] = append(r.va2req[out][dvc], p*r.cfg.VCs+v)
+				}
+			}
+			if arbVC != v {
+				// The VA unit resets R2/ID/VF once the borrowed arbiters
+				// have served the borrower (Section V-B2).
+				ip.VCs[arbVC].ClearBorrow()
+			}
+		}
+	}
+
+	// Stage 2: one arbiter per downstream VC resolves conflicts.
+	for out := 0; out < r.cfg.Ports; out++ {
+		for dvc := 0; dvc < r.cfg.VCs; dvc++ {
+			cands := r.va2req[out][dvc]
+			if len(cands) == 0 {
+				continue
+			}
+			arb := r.va.Stage2(out, dvc)
+			if arb.Faulty() {
+				// Section V-B3: the requesters lose this downstream VC
+				// and re-arbitrate for a different one next cycle.
+				r.Counters.VA2Retries += uint64(len(cands))
+				continue
+			}
+			reqs := r.reqBuf[:r.cfg.Ports*r.cfg.VCs]
+			for i := range reqs {
+				reqs[i] = false
+			}
+			for _, c := range cands {
+				reqs[c] = true
+			}
+			w, ok := arb.Grant(reqs)
+			if !ok {
+				continue
+			}
+			wp, wv := w/r.cfg.VCs, w%r.cfg.VCs
+			q := r.in[wp].VCs[wv]
+			q.G = vc.Active
+			q.OutVC = dvc
+			r.outVCBusy[out][dvc] = true
+		}
+	}
+}
+
+// saReady reports whether input VC q can compete in switch allocation this
+// cycle: it is active, has a buffered flit, its output path is currently
+// usable, and a downstream credit is available.
+func (r *Router) saReady(q *vc.VC) bool {
+	if q.G != vc.Active || q.Empty() {
+		return false
+	}
+	if _, ok := r.effectiveRequestPort(q); !ok {
+		return false
+	}
+	return r.credits[q.R][q.OutVC] > 0
+}
+
+// effectiveRequestPort returns the output port whose SA stage-2 arbiter
+// the VC must request: the routed port when its regular path works, or
+// the secondary port when the protected router must detour (refreshing
+// SP/FSP so mid-packet faults are also rerouted). ok is false when no
+// usable path remains.
+func (r *Router) effectiveRequestPort(q *vc.VC) (topology.Port, bool) {
+	if r.primaryPathUsable(q.R) {
+		q.FSP = false
+		return q.R, true
+	}
+	if r.secondaryPathUsable(q.R) {
+		q.FSP = true
+		q.SP = topology.Port(r.xbProt.SecondaryOf(int(q.R)))
+		return q.SP, true
+	}
+	return topology.Local, false
+}
+
+// saStage runs the two-stage separable switch allocator with the
+// protected router's bypass path and VC transfer.
+func (r *Router) saStage(sim.Cycle) {
+	type winner struct {
+		vcIdx     int
+		reqPort   topology.Port
+		outPort   topology.Port
+		secondary bool
+	}
+	winners := make([]winner, r.cfg.Ports)
+	for i := range winners {
+		winners[i].vcIdx = -1
+	}
+
+	// Stage 1: pick one VC per input port.
+	for p := 0; p < r.cfg.Ports; p++ {
+		ip := r.in[p]
+		ready := r.reqBuf[:r.cfg.VCs]
+		for v := 0; v < r.cfg.VCs; v++ {
+			ready[v] = r.saReady(ip.VCs[v])
+		}
+		b := r.sa.Stage1(p)
+		var w int
+		var ok bool
+		switch {
+		case !b.Arb.Faulty():
+			w, ok = b.Arb.Grant(ready)
+		case !r.cfg.FaultTolerant:
+			continue // baseline: the port is dead
+		case b.BypassFaulty():
+			continue // both paths gone; Functional() reports failure
+		default:
+			// Bypass path: the default winner is chosen without
+			// arbitration (Section V-C1). An adoption (a completed
+			// transfer into the default winner) expires when the
+			// packet's tail departs or when the default winner rotates
+			// on — the rotation is what guarantees every VC of the port
+			// is eventually served, so adoption must never outlive it
+			// (otherwise a credit-stalled adopted packet could block a
+			// sibling it transitively depends on).
+			if a := r.saAdopted[p]; a >= 0 {
+				r.saAdoptAge[p]++
+				if ip.VCs[a].G != vc.Active || r.saAdoptAge[p] >= r.cfg.BypassRotatePeriod {
+					r.saAdopted[p] = -1
+				}
+			}
+			if a := r.saAdopted[p]; a >= 0 {
+				if !ready[a] {
+					continue // waiting (e.g., on credits)
+				}
+				w, ok = a, true
+				r.Counters.SABypassGrants++
+				break
+			}
+			w, ok = b.Grant(ready)
+			if ok && !ready[w] {
+				// The default winner cannot send. If it is idle and
+				// empty, transfer a sibling's flits and state into it;
+				// the transfer itself consumes this cycle.
+				r.tryTransfer(ip, p, w)
+				continue
+			}
+			if ok {
+				r.Counters.SABypassGrants++
+			}
+		}
+		if !ok {
+			continue
+		}
+		q := ip.VCs[w]
+		reqPort, pathOK := r.effectiveRequestPort(q)
+		if !pathOK {
+			continue
+		}
+		winners[p] = winner{vcIdx: w, reqPort: reqPort, outPort: q.R, secondary: q.FSP}
+	}
+
+	// Stage 2: one arbiter per output port resolves input-port conflicts.
+	reqs := r.reqBuf[:r.cfg.Ports]
+	for out := 0; out < r.cfg.Ports; out++ {
+		arb := r.sa.Stage2(out)
+		if arb.Faulty() {
+			continue
+		}
+		any := false
+		for p := 0; p < r.cfg.Ports; p++ {
+			reqs[p] = winners[p].vcIdx >= 0 && int(winners[p].reqPort) == out
+			any = any || reqs[p]
+		}
+		if !any {
+			continue
+		}
+		wp, ok := arb.Grant(reqs)
+		if !ok {
+			continue
+		}
+		win := winners[wp]
+		q := r.in[wp].VCs[win.vcIdx]
+		r.credits[win.outPort][q.OutVC]--
+		if r.credits[win.outPort][q.OutVC] < 0 {
+			panic(fmt.Sprintf("core: router %d negative credit on %v/vc%d", r.ID, win.outPort, q.OutVC))
+		}
+		r.grants = append(r.grants, grant{
+			inPort:    topology.Port(wp),
+			inVC:      win.vcIdx,
+			outPort:   win.outPort,
+			secondary: win.secondary,
+		})
+	}
+}
+
+// tryTransfer performs the Section V-C1 transfer: when the bypass default
+// winner dst is idle and empty while a sibling VC holds a sendable packet,
+// the sibling's flits and state fields move into dst's buffers in one
+// cycle (this cycle — no grant is issued). We model the result as
+// adoption: from the next cycle the moved packet is served as the default
+// winner, while flow control keeps the packet's original VC identity so
+// the upstream router's per-VC credits and allocation state stay exact.
+func (r *Router) tryTransfer(ip *vc.InputPort, port, dst int) {
+	d := ip.VCs[dst]
+	if d.G != vc.Idle || !d.Empty() {
+		return // default winner holds a packet that is simply not ready
+	}
+	cand := -1
+	for v := 0; v < r.cfg.VCs; v++ {
+		if v == dst {
+			continue
+		}
+		s := ip.VCs[v]
+		if s.G != vc.Active || s.Empty() {
+			continue
+		}
+		if r.saReady(s) {
+			cand = v
+			break
+		}
+		if cand < 0 {
+			cand = v
+		}
+	}
+	if cand >= 0 {
+		r.saAdopted[port] = cand
+		r.saAdoptAge[port] = 0
+		r.Counters.SATransfers++
+	}
+}
+
+// xbStage executes the previous cycle's grants: pops each granted flit,
+// moves it through the crossbar (secondary path when directed) and emits
+// it plus the upstream credit.
+func (r *Router) xbStage(sim.Cycle) {
+	if r.cfg.FaultTolerant {
+		r.xbProt.BeginCycle()
+	} else {
+		r.xbBase.BeginCycle()
+	}
+	for _, g := range r.grants {
+		q := r.in[g.inPort].VCs[g.inVC]
+		var err error
+		if r.cfg.FaultTolerant {
+			err = r.xbProt.Traverse(int(g.inPort), int(g.outPort), g.secondary)
+			if err != nil {
+				// A fault can appear between the grant (last cycle's SA)
+				// and the traversal; try the other path before giving up.
+				err = r.xbProt.Traverse(int(g.inPort), int(g.outPort), !g.secondary)
+				if err == nil {
+					g.secondary = !g.secondary
+				}
+			}
+		} else {
+			err = r.xbBase.Traverse(int(g.inPort), int(g.outPort))
+		}
+		if err != nil {
+			// No usable path remains this cycle: cancel the grant, refund
+			// the reserved credit, and let switch allocation retry (the
+			// retry re-evaluates SP/FSP against the new fault state).
+			r.credits[g.outPort][q.OutVC]++
+			continue
+		}
+		f := q.Pop()
+		if g.secondary {
+			r.Counters.XBSecondary++
+		}
+		f.Hops++
+		r.Counters.FlitsRouted++
+		r.outFlits = append(r.outFlits, router.OutFlit{Out: g.outPort, DownVC: q.OutVC, F: f})
+		r.outCredits = append(r.outCredits, router.Credit{
+			In:     g.inPort,
+			VC:     q.CreditHome,
+			VCFree: f.Kind.IsTail(),
+		})
+		if f.Kind.IsTail() {
+			q.ResetPacketState()
+		}
+	}
+	r.grants = r.grants[:0]
+}

@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: a NoC router
+// whose four pipeline stages — Routing Computation (RC), Virtual-channel
+// Allocation (VA), Switch Allocation (SA) and Crossbar traversal (XB) —
+// each tolerate a permanent fault (Poluri & Louri, "An Improved Router
+// Design for Reliable On-Chip Networks", IPDPS 2014).
+//
+// One Router type implements both the unprotected baseline and the
+// protected router (Config.FaultTolerant); in the fault-free case the two
+// behave identically, exactly as the paper's protected crossbar "behaves
+// just like the baseline crossbar" without faults. The per-stage
+// mechanisms are:
+//
+//   - RC: a duplicate RC unit per input port is switched in when the
+//     primary is faulty (Section V-A).
+//   - VA stage 1: a VC with a faulty arbiter set borrows the arbiters of
+//     the first sibling VC found idle or in switch-allocation state, via
+//     the R2/VF/ID state fields (Section V-B1, Figure 4). If every
+//     sibling is busy allocating, the borrower waits a cycle (Scenario 2).
+//   - VA stage 2: a faulty per-downstream-VC arbiter simply loses its VC;
+//     the retry re-arbitrates for a different downstream VC one cycle
+//     later using the inherent VC redundancy (Section V-B3).
+//   - SA stage 1: a bypass path names a rotating default-winner VC; when
+//     the default winner is empty, flits and state are transferred into it
+//     from a sibling VC in one cycle (Section V-C1, Figure 5).
+//   - SA stage 2 + XB: a secondary crossbar path (Figure 6) reaches an
+//     output port through the neighbouring port's multiplexer and arbiter,
+//     directed by the SP/FSP state fields set at RC time (Sections V-C2,
+//     V-D).
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/crossbar"
+	"gonoc/internal/flit"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/vc"
+)
+
+// CreditIn is a credit arriving at a router's output side: the downstream
+// consumer freed one buffer slot of VC (and the whole VC when VCFree).
+type CreditIn struct {
+	// Out is the output port of this router the credit applies to.
+	Out topology.Port
+	// VC is the downstream VC index.
+	VC int
+	// VCFree marks the downstream VC free for reallocation.
+	VCFree bool
+}
+
+// grant is one switch-allocation winner, executed by the crossbar stage
+// the following cycle.
+type grant struct {
+	inPort    topology.Port
+	inVC      int
+	outPort   topology.Port // actual destination output port
+	secondary bool          // traverse via the protected crossbar's secondary path
+}
+
+// Counters tallies fault-tolerance mechanism activity and basic traffic,
+// for tests and the latency analysis.
+type Counters struct {
+	// FlitsRouted counts flits that traversed the crossbar.
+	FlitsRouted uint64
+	// RCDuplicateUses counts routing computations served by the duplicate
+	// RC unit.
+	RCDuplicateUses uint64
+	// VA1Borrows counts successful arbiter borrows (Section V-B1).
+	VA1Borrows uint64
+	// VA1BorrowStalls counts cycles a VC wanted to borrow but found no
+	// lender (Scenario 2 waits).
+	VA1BorrowStalls uint64
+	// VA2Retries counts stage-2 allocation attempts lost to a faulty
+	// stage-2 arbiter (each costs one recompute cycle, Section V-B3).
+	VA2Retries uint64
+	// SABypassGrants counts stage-1 grants served by the bypass path.
+	SABypassGrants uint64
+	// SATransfers counts VC-to-VC flit/state transfers feeding the bypass
+	// default winner (each costs one cycle, Section V-C1).
+	SATransfers uint64
+	// XBSecondary counts crossbar traversals through the secondary path.
+	XBSecondary uint64
+}
+
+// Router is a P-port, V-VC, 4-stage pipelined wormhole router with
+// credit-based flow control. It implements both the baseline and the
+// paper's fault-tolerant design, selected by Config.FaultTolerant.
+type Router struct {
+	// ID is the router's node id in the mesh.
+	ID int
+
+	cfg  router.Config
+	mesh topology.Mesh
+
+	in []*vc.InputPort
+	rc []*router.RCUnit
+	va *router.VAlloc
+	sa *router.SAlloc
+
+	xbBase *crossbar.Baseline
+	xbProt *crossbar.Protected
+
+	// Output-side bookkeeping: this router as upstream of each output
+	// port's downstream buffers.
+	outVCBusy [][]bool
+	credits   [][]int
+
+	grants []grant
+
+	inFlits    []router.InFlit
+	inCredits  []CreditIn
+	outFlits   []router.OutFlit
+	outCredits []router.Credit
+
+	// rcScan is the per-port round-robin pointer for the (single) RC unit
+	// serving at most one VC per cycle.
+	rcScan []int
+
+	// saAdopted tracks, per input port, the VC adopted as the bypass
+	// path's effective default winner after a transfer (Section V-C1), or
+	// -1. Modelling the transfer as adoption keeps the upstream router's
+	// per-VC credit and allocation bookkeeping exact: physically the
+	// flits and state move into the default winner's buffers in one
+	// cycle; architecturally the packet still occupies its original VC
+	// identity, which is what the upstream sees.
+	saAdopted []int
+	// saAdoptAge counts cycles since the adoption, for rotation expiry.
+	saAdoptAge []int
+
+	// va2req collects stage-2 VA requests: va2req[outPort][dvc] lists
+	// flat input-VC indices (p*V + v). Reused across cycles.
+	va2req [][][]int
+	reqBuf []bool // scratch request vector, len = Ports*VCs
+
+	// Counters tallies mechanism activity.
+	Counters Counters
+}
+
+// New returns a router with the given id in mesh, configured by cfg.
+func New(id int, mesh topology.Mesh, cfg router.Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{ID: id, cfg: cfg, mesh: mesh}
+	r.in = make([]*vc.InputPort, cfg.Ports)
+	r.rc = make([]*router.RCUnit, cfg.Ports)
+	r.outVCBusy = make([][]bool, cfg.Ports)
+	r.credits = make([][]int, cfg.Ports)
+	r.rcScan = make([]int, cfg.Ports)
+	r.saAdopted = make([]int, cfg.Ports)
+	r.saAdoptAge = make([]int, cfg.Ports)
+	for i := range r.saAdopted {
+		r.saAdopted[i] = -1
+	}
+	r.va2req = make([][][]int, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p] = vc.NewInputPort(topology.Port(p), cfg.VCs, cfg.Depth)
+		r.rc[p] = router.NewRCUnit(mesh, cfg.FaultTolerant)
+		r.outVCBusy[p] = make([]bool, cfg.VCs)
+		r.credits[p] = make([]int, cfg.VCs)
+		for v := range r.credits[p] {
+			r.credits[p][v] = cfg.Depth
+		}
+		r.va2req[p] = make([][]int, cfg.VCs)
+	}
+	r.va = router.NewVAlloc(cfg)
+	r.sa = router.NewSAlloc(cfg)
+	if cfg.FaultTolerant {
+		r.xbProt = crossbar.NewProtected(cfg.Ports)
+	} else {
+		r.xbBase = crossbar.NewBaseline(cfg.Ports)
+	}
+	r.reqBuf = make([]bool, cfg.Ports*cfg.VCs)
+	return r, nil
+}
+
+// MustNew is New that panics on configuration errors, for tests and
+// examples.
+func MustNew(id int, mesh topology.Mesh, cfg router.Config) *Router {
+	r, err := New(id, mesh, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Config returns the router's configuration.
+func (r *Router) Config() router.Config { return r.cfg }
+
+// FaultTolerant reports whether this is the protected design.
+func (r *Router) FaultTolerant() bool { return r.cfg.FaultTolerant }
+
+// InputVC exposes input VC (p, v) for inspection by tests and the NI.
+func (r *Router) InputVC(p topology.Port, v int) *vc.VC { return r.in[p].VCs[v] }
+
+// AcceptFlit delivers a flit to input port latch; it is buffered at the
+// start of the next Tick.
+func (r *Router) AcceptFlit(f router.InFlit) { r.inFlits = append(r.inFlits, f) }
+
+// AcceptCredit delivers a credit to the output-side latch.
+func (r *Router) AcceptCredit(c CreditIn) { r.inCredits = append(r.inCredits, c) }
+
+// TakeOutFlits drains and returns the flits that left the router this
+// cycle.
+func (r *Router) TakeOutFlits() []router.OutFlit {
+	o := r.outFlits
+	r.outFlits = nil
+	return o
+}
+
+// TakeOutCredits drains and returns the credits the router emitted this
+// cycle.
+func (r *Router) TakeOutCredits() []router.Credit {
+	o := r.outCredits
+	r.outCredits = nil
+	return o
+}
+
+// FreeOutVCs returns, for output port p and message class cls, how many
+// downstream VCs are currently unallocated — used by the local NI to
+// decide whether a new packet can be injected.
+func (r *Router) FreeOutVCs(p topology.Port, cls int) int {
+	lo, hi := r.cfg.ClassRange(cls)
+	n := 0
+	for v := lo; v < hi; v++ {
+		if !r.outVCBusy[p][v] {
+			n++
+		}
+	}
+	return n
+}
+
+// Tick advances the router one cycle. Stages run in reverse pipeline
+// order (buffer-write, XB, SA, VA, RC) so that state written by an
+// earlier stage this cycle is consumed by the next stage next cycle; the
+// head-flit pipeline is therefore RC → VA → SA → XB, one stage per cycle,
+// exactly the paper's Figure 2.
+func (r *Router) Tick(cy sim.Cycle) {
+	r.acceptInputs()
+	r.xbStage(cy)
+	r.saStage(cy)
+	r.vaStage(cy)
+	r.rcStage(cy)
+}
+
+// String implements fmt.Stringer.
+func (r *Router) String() string {
+	kind := "baseline"
+	if r.cfg.FaultTolerant {
+		kind = "protected"
+	}
+	return fmt.Sprintf("core.Router{id=%d %s %dp/%dvc}", r.ID, kind, r.cfg.Ports, r.cfg.VCs)
+}
+
+// headReady reports whether v's front flit is a head flit, a precondition
+// for entering the RC stage.
+func headReady(v *vc.VC) bool {
+	f := v.Front()
+	return f != nil && f.Kind.IsHead()
+}
+
+var _ = flit.Head // keep the flit import referenced even if unused later
+
+// Credits returns the router's current credit count for downstream VC
+// (p, v) — exposed for the network-level credit-conservation checker.
+func (r *Router) Credits(p topology.Port, v int) int { return r.credits[p][v] }
+
+// PendingGrants counts switch-allocation grants awaiting crossbar
+// traversal whose flit will occupy downstream VC (p, v). The credit for
+// such a flit is already reserved, so the network's credit-conservation
+// checker must count it.
+func (r *Router) PendingGrants(p topology.Port, v int) int {
+	n := 0
+	for _, g := range r.grants {
+		if g.outPort == p && r.in[g.inPort].VCs[g.inVC].OutVC == v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package crossbar_test
+
+import (
+	"fmt"
+
+	"gonoc/internal/crossbar"
+)
+
+// ExampleProtected demonstrates the Figure 6 secondary paths: with M3
+// (0-based mux 2) faulty, output 2 stays reachable through mux 1.
+func ExampleProtected() {
+	x := crossbar.NewProtected(5)
+	x.SetMuxFaulty(2, true)
+	fmt.Println("reachable:", x.Reachable(2))
+	fmt.Println("via mux:", x.SecondaryOf(2))
+	fmt.Println("whole crossbar ok:", x.AllReachable())
+	// Output:
+	// reachable: true
+	// via mux: 1
+	// whole crossbar ok: true
+}

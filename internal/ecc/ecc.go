@@ -1,0 +1,179 @@
+// Package ecc implements the single-error-correcting, double-error-
+// detecting (SEC-DED) Hamming code used to protect 32-bit flit datapaths.
+//
+// This is the "low overhead Error Correcting Codes ... to tolerate faults
+// in the datapath" of the Vicis comparator design (Fick et al., DAC 2009,
+// the paper's reference [15]), and the standard remedy for the transient
+// datapath upsets the paper's introduction describes. A hard fault in one
+// datapath bit line manifests as a stuck bit in every word that crosses
+// it; SEC-DED corrects it continuously until a second fault lands in the
+// same word, which matches the two-faults-per-unit failure semantics of
+// the Vicis model in internal/ftrouters.
+//
+// The codeword layout is the classic Hamming construction: bit positions
+// 1..38 hold the 32 data bits with parity bits at the power-of-two
+// positions (1, 2, 4, 8, 16, 32), and bit 0 holds an overall parity bit
+// that upgrades single-error correction to double-error detection.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DataBits is the protected word width.
+const DataBits = 32
+
+// CodeBits is the full codeword width: 32 data + 6 Hamming parity + 1
+// overall parity.
+const CodeBits = 39
+
+// Result classifies the outcome of a Decode.
+type Result int
+
+const (
+	// OK: the codeword was clean.
+	OK Result = iota
+	// Corrected: exactly one bit error was found and repaired.
+	Corrected
+	// Detected: a double-bit error was found; the data is unusable.
+	Detected
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// isParityPos reports whether a 1-based codeword position holds a Hamming
+// parity bit.
+func isParityPos(p uint) bool { return p&(p-1) == 0 }
+
+// Encode returns the 39-bit SEC-DED codeword for data (in the low bits of
+// the returned word).
+func Encode(data uint32) uint64 {
+	var cw uint64
+	// Scatter data bits into non-parity positions 3, 5, 6, 7, 9, ...
+	d := 0
+	for pos := uint(1); pos <= 38; pos++ {
+		if isParityPos(pos) {
+			continue
+		}
+		if data&(1<<d) != 0 {
+			cw |= 1 << pos
+		}
+		d++
+	}
+	// Hamming parity bits: parity at position 2^k covers every position
+	// with bit k set.
+	for k := uint(0); k < 6; k++ {
+		p := uint(1) << k
+		var parity uint64
+		for pos := uint(1); pos <= 38; pos++ {
+			if pos&p != 0 {
+				parity ^= (cw >> pos) & 1
+			}
+		}
+		cw |= parity << p
+	}
+	// Overall parity at position 0 covers the whole word.
+	cw |= uint64(bits.OnesCount64(cw)) & 1
+	return cw
+}
+
+// Decode checks and, if possible, repairs a codeword, returning the data
+// word, the outcome and (for Corrected) the corrected 0-based codeword
+// position. For Detected the returned data is unusable.
+func Decode(cw uint64) (data uint32, res Result, fixedPos int) {
+	// Syndrome: XOR of Hamming parities.
+	var syndrome uint
+	for k := uint(0); k < 6; k++ {
+		p := uint(1) << k
+		var parity uint64
+		for pos := uint(1); pos <= 38; pos++ {
+			if pos&p != 0 {
+				parity ^= (cw >> pos) & 1
+			}
+		}
+		if parity != 0 {
+			syndrome |= p
+		}
+	}
+	overall := uint(bits.OnesCount64(cw)) & 1
+
+	fixedPos = -1
+	switch {
+	case syndrome == 0 && overall == 0:
+		res = OK
+	case overall == 1:
+		// Odd number of errors: assume single, repairable.
+		res = Corrected
+		if syndrome == 0 {
+			// The overall parity bit itself flipped.
+			cw ^= 1
+			fixedPos = 0
+		} else if syndrome <= 38 {
+			cw ^= 1 << syndrome
+			fixedPos = int(syndrome)
+		} else {
+			// Syndrome points outside the word: multi-bit upset.
+			return 0, Detected, -1
+		}
+	default:
+		// Non-zero syndrome with even overall parity: double error.
+		return 0, Detected, -1
+	}
+
+	// Gather data bits.
+	d := 0
+	for pos := uint(1); pos <= 38; pos++ {
+		if isParityPos(pos) {
+			continue
+		}
+		if cw&(1<<pos) != 0 {
+			data |= 1 << d
+		}
+		d++
+	}
+	return data, res, fixedPos
+}
+
+// Word is a convenience wrapper pairing a stored codeword with stuck-bit
+// faults, modelling a datapath lane with hard faults: every pass through
+// Read applies the stuck bits before decoding, as a physical stuck line
+// would.
+type Word struct {
+	cw        uint64
+	stuckMask uint64 // bits forced to stuckVal
+	stuckVal  uint64
+}
+
+// Store encodes data into the word.
+func (w *Word) Store(data uint32) { w.cw = Encode(data) }
+
+// StickBit forces 0-based codeword position pos to value v on every read,
+// modelling a hard fault in that bit line.
+func (w *Word) StickBit(pos uint, v bool) {
+	w.stuckMask |= 1 << pos
+	if v {
+		w.stuckVal |= 1 << pos
+	} else {
+		w.stuckVal &^= 1 << pos
+	}
+}
+
+// Read applies the stuck bits and decodes.
+func (w *Word) Read() (uint32, Result) {
+	cw := (w.cw &^ w.stuckMask) | (w.stuckVal & w.stuckMask)
+	data, res, _ := Decode(cw)
+	return data, res
+}

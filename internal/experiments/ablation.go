@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gonoc/internal/fault"
+	"gonoc/internal/noc"
+	"gonoc/internal/rng"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out: the bypass default-winner rotation period (Section V-C1's
+// anti-starvation rotation), the VC count, and the value of the crossbar
+// secondary path.
+
+// AblationPoint is one configuration's outcome in an ablation sweep.
+type AblationPoint struct {
+	// Param is the swept parameter's value.
+	Param int
+	// AvgLatency is the measured average packet latency in cycles.
+	AvgLatency float64
+	// Delivered counts delivered packets (a proxy for throughput when
+	// configurations wedge or degrade).
+	Delivered uint64
+}
+
+// String implements fmt.Stringer.
+func (p AblationPoint) String() string {
+	return fmt.Sprintf("param=%d latency=%.2f delivered=%d", p.Param, p.AvgLatency, p.Delivered)
+}
+
+// ablationNet builds a 4×4 protected network with moderate uniform
+// traffic for ablation runs.
+func ablationNet(rc router.Config, rate float64, seed uint64, warmup sim.Cycle) *noc.Network {
+	rc.FaultTolerant = true
+	src := traffic.NewSynthetic(16, rate, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), seed)
+	return noc.MustNew(noc.Config{Width: 4, Height: 4, Router: rc, Warmup: warmup}, src)
+}
+
+// AblationRotatePeriod measures latency as a function of the bypass
+// default-winner rotation period, with every router's East and West SA1
+// arbiters faulty so the bypass path carries real traffic. Too short a
+// period wastes cycles on transfers; too long a period starves the
+// non-default VCs — the sweep exposes the trade-off behind the paper's
+// "every input VC [becomes] default winner at different points of time".
+func AblationRotatePeriod(periods []int, cycles sim.Cycle, seed uint64) []AblationPoint {
+	out := make([]AblationPoint, len(periods))
+	for i, p := range periods {
+		rc := router.DefaultConfig()
+		rc.BypassRotatePeriod = p
+		n := ablationNet(rc, 0.06, seed, cycles/10)
+		for id := 0; id < 16; id++ {
+			n.Router(id).SetSA1Fault(topology.East, true)
+			n.Router(id).SetSA1Fault(topology.West, true)
+		}
+		n.Run(cycles)
+		out[i] = AblationPoint{
+			Param:      p,
+			AvgLatency: n.Stats().AvgLatency(),
+			Delivered:  n.Stats().Ejected(),
+		}
+	}
+	return out
+}
+
+// AblationVCCount measures fault-free latency versus the number of
+// virtual channels per port (more VCs reduce head-of-line blocking but
+// the paper's SPF analysis shows they also add tolerable fault sites).
+func AblationVCCount(vcs []int, cycles sim.Cycle, seed uint64) []AblationPoint {
+	out := make([]AblationPoint, len(vcs))
+	for i, v := range vcs {
+		rc := router.DefaultConfig()
+		rc.VCs = v
+		rc.Classes = 1
+		n := ablationNet(rc, 0.03, seed, cycles/10)
+		n.Run(cycles)
+		out[i] = AblationPoint{
+			Param:      v,
+			AvgLatency: n.Stats().AvgLatency(),
+			Delivered:  n.Stats().Ejected(),
+		}
+	}
+	return out
+}
+
+// SecondaryPathAblation compares, under one crossbar-mux fault per
+// router, the protected router (secondary path carries the detour)
+// against the unprotected baseline (the affected output is simply dead).
+// It returns the protected network's latency and delivery count, and the
+// baseline's delivered/in-flight counts showing traffic wedging.
+type SecondaryPathAblation struct {
+	ProtectedLatency   float64
+	ProtectedDelivered uint64
+	BaselineDelivered  uint64
+	BaselineStuck      uint64
+}
+
+// AblationSecondaryPath runs the secondary-path ablation: every router's
+// East crossbar mux is faulty.
+func AblationSecondaryPath(cycles sim.Cycle, seed uint64) SecondaryPathAblation {
+	run := func(ft bool) (float64, uint64, uint64) {
+		rc := router.DefaultConfig()
+		rc.FaultTolerant = ft
+		src := traffic.NewSynthetic(16, 0.02, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), seed)
+		n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: rc, Warmup: cycles / 10}, src)
+		for id := 0; id < 16; id++ {
+			n.Router(id).SetXBFault(topology.East, true)
+		}
+		n.Run(cycles)
+		return n.Stats().AvgLatency(), n.Stats().Ejected(), n.Stats().InFlight()
+	}
+	lat, del, _ := run(true)
+	_, bdel, bstuck := run(false)
+	return SecondaryPathAblation{
+		ProtectedLatency:   lat,
+		ProtectedDelivered: del,
+		BaselineDelivered:  bdel,
+		BaselineStuck:      bstuck,
+	}
+}
+
+// DegradationPoint is one point on the graceful-degradation curve.
+type DegradationPoint struct {
+	// Faults is the number of (tolerable) faults present in the network.
+	Faults int
+	// AvgLatency is the measured average packet latency.
+	AvgLatency float64
+	// Throughput is delivered flits per node per cycle.
+	Throughput float64
+}
+
+// DegradationCurve measures how the protected network degrades as
+// tolerable faults accumulate — the continuous version of the paper's
+// before/after latency comparison. For each requested fault count a
+// fresh 4×4 network receives that many randomly placed safe faults
+// before measurement.
+func DegradationCurve(faultCounts []int, cycles sim.Cycle, seed uint64) []DegradationPoint {
+	out := make([]DegradationPoint, len(faultCounts))
+	for i, nf := range faultCounts {
+		rc := router.DefaultConfig()
+		n := ablationNet(rc, 0.03, seed, cycles/10)
+		r := rng.New(seed ^ uint64(nf)<<32)
+		sites := fault.SitesIn(n.Router(0).Config(), fault.UniverseAll)
+		placed := 0
+		for attempts := 0; placed < nf && attempts < nf*50; attempts++ {
+			node := r.Intn(16)
+			rt := n.Router(node)
+			s := sites[r.Intn(len(sites))]
+			if fault.IsFaulty(rt, s) {
+				continue
+			}
+			fault.Apply(rt, s, true)
+			if !rt.Functional() {
+				fault.Apply(rt, s, false)
+				continue
+			}
+			placed++
+		}
+		n.Run(cycles)
+		st := n.Stats()
+		out[i] = DegradationPoint{
+			Faults:     placed,
+			AvgLatency: st.AvgLatency(),
+			Throughput: st.ThroughputFlits(n.Now()) / 16,
+		}
+	}
+	return out
+}

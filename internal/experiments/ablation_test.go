@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+func TestAblationRotatePeriod(t *testing.T) {
+	pts := AblationRotatePeriod([]int{1, 16, 256}, 8000, 3)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Delivered == 0 || p.AvgLatency <= 0 {
+			t.Fatalf("degenerate point %v", p)
+		}
+	}
+	// A very long rotation period starves non-default VCs and must be
+	// measurably worse than the default.
+	if pts[2].AvgLatency <= pts[1].AvgLatency {
+		t.Errorf("period 256 latency %.1f not above period 16 latency %.1f",
+			pts[2].AvgLatency, pts[1].AvgLatency)
+	}
+}
+
+func TestAblationVCCount(t *testing.T) {
+	pts := AblationVCCount([]int{1, 4}, 8000, 5)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// More VCs must not hurt latency at moderate load (wormhole
+	// head-of-line blocking shrinks).
+	if pts[1].AvgLatency > pts[0].AvgLatency*1.05 {
+		t.Errorf("4 VCs latency %.2f worse than 1 VC %.2f", pts[1].AvgLatency, pts[0].AvgLatency)
+	}
+	for _, p := range pts {
+		if p.Delivered == 0 {
+			t.Fatalf("nothing delivered at %d VCs", p.Param)
+		}
+	}
+}
+
+func TestAblationSecondaryPath(t *testing.T) {
+	res := AblationSecondaryPath(8000, 7)
+	if res.ProtectedDelivered == 0 || res.ProtectedLatency <= 0 {
+		t.Fatalf("protected run degenerate: %+v", res)
+	}
+	// Without the secondary path the baseline wedges eastbound flows:
+	// packets pile up undelivered.
+	if res.BaselineStuck == 0 {
+		t.Fatal("baseline shows no stuck packets despite dead East muxes")
+	}
+	if res.ProtectedDelivered <= res.BaselineDelivered {
+		t.Fatalf("protected delivered %d not above baseline %d",
+			res.ProtectedDelivered, res.BaselineDelivered)
+	}
+}
+
+func TestDegradationCurve(t *testing.T) {
+	pts := DegradationCurve([]int{0, 40, 120}, 8000, 11)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Faults != 0 || pts[1].Faults != 40 || pts[2].Faults != 120 {
+		t.Fatalf("fault counts %v", pts)
+	}
+	// Latency rises monotonically (within this spacing) as faults pile up,
+	// while delivery continues at every point.
+	if !(pts[0].AvgLatency < pts[1].AvgLatency && pts[1].AvgLatency < pts[2].AvgLatency) {
+		t.Errorf("latency not increasing: %.2f, %.2f, %.2f",
+			pts[0].AvgLatency, pts[1].AvgLatency, pts[2].AvgLatency)
+	}
+	for _, p := range pts {
+		if p.Throughput <= 0 {
+			t.Fatalf("no throughput at %d faults", p.Faults)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package experiments assembles the substrates into the paper's
+// evaluation experiments: the Figure 7/8 latency studies, the Table I–III
+// reliability computations and the Section VI area/power/critical-path
+// report. Each experiment is a pure function of its configuration, so
+// benchmarks, examples and the noctool CLI all regenerate identical
+// numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"gonoc/internal/fault"
+	"gonoc/internal/noc"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/sweep"
+	"gonoc/internal/topology"
+	"gonoc/internal/workloads"
+)
+
+// LatencyConfig parameterizes a Figure 7/8 run.
+type LatencyConfig struct {
+	// Width and Height give the mesh (the paper's is 8×8).
+	Width, Height int
+	// Warmup is the statistics warmup window.
+	Warmup sim.Cycle
+	// Measure is how long to measure after warmup.
+	Measure sim.Cycle
+	// FaultMean is the injector's mean inter-fault interval per (router,
+	// stage). The paper used 10M cycles on multi-billion-cycle GEM5
+	// runs; we scale it to our simulation length so that a comparable
+	// multiple-fault population is present during measurement.
+	FaultMean sim.Cycle
+	// Seed derives all randomness.
+	Seed uint64
+	// Workers bounds parallelism across applications (0 = all cores).
+	Workers int
+}
+
+// DefaultLatencyConfig returns the scaled-down Figure 7/8 configuration.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		Width: 8, Height: 8,
+		Warmup:    5000,
+		Measure:   25000,
+		FaultMean: 20000,
+		Seed:      2014, // the paper's year; any seed works
+	}
+}
+
+// LatencyPoint is one application's bar pair in Figure 7/8.
+type LatencyPoint struct {
+	// App is the benchmark name.
+	App string
+	// FaultFree and Faulty are average packet latencies in cycles.
+	FaultFree, Faulty float64
+	// DeltaPct is the percentage increase.
+	DeltaPct float64
+	// Faults is how many faults were present by the end of the faulty
+	// run.
+	Faults int
+}
+
+// SuiteResult aggregates a whole benchmark suite (one figure).
+type SuiteResult struct {
+	// Suite names the benchmark suite.
+	Suite string
+	// Points holds one entry per application.
+	Points []LatencyPoint
+	// OverallDeltaPct is the suite-average latency increase (the paper's
+	// "overall NoC latency has increased by 10% / 13%").
+	OverallDeltaPct float64
+}
+
+// RunApp simulates one application fault-free and fault-injected on the
+// protected-router network and returns its latency pair.
+func RunApp(app workloads.App, cfg LatencyConfig) LatencyPoint {
+	run := func(faulty bool) (float64, int) {
+		rc := router.DefaultConfig()
+		rc.FaultTolerant = true
+		mesh := topology.NewMesh(cfg.Width, cfg.Height)
+		tr := workloads.NewCoherence(app, mesh, cfg.Seed)
+		n := noc.MustNew(noc.Config{
+			Width: cfg.Width, Height: cfg.Height, Router: rc, Warmup: cfg.Warmup,
+		}, tr)
+		var inj *fault.Injector
+		if faulty {
+			inj = fault.NewInjector(n, cfg.FaultMean, cfg.Seed^0x9e3779b9, true)
+		}
+		n.Run(cfg.Warmup + cfg.Measure)
+		nFaults := 0
+		if inj != nil {
+			nFaults = len(inj.Injected())
+		}
+		return n.Stats().AvgLatency(), nFaults
+	}
+	clean, _ := run(false)
+	dirty, nFaults := run(true)
+	pt := LatencyPoint{App: app.Name, FaultFree: clean, Faulty: dirty, Faults: nFaults}
+	if clean > 0 {
+		pt.DeltaPct = (dirty - clean) / clean * 100
+	}
+	return pt
+}
+
+// RunSuite runs every application of a suite (in parallel) and aggregates
+// the figure.
+func RunSuite(suite string, apps []workloads.App, cfg LatencyConfig) SuiteResult {
+	points := sweep.Map(apps, cfg.Workers, func(a workloads.App) LatencyPoint {
+		return RunApp(a, cfg)
+	})
+	res := SuiteResult{Suite: suite, Points: points}
+	var clean, dirty float64
+	for _, p := range points {
+		clean += p.FaultFree
+		dirty += p.Faulty
+	}
+	if clean > 0 {
+		res.OverallDeltaPct = (dirty - clean) / clean * 100
+	}
+	return res
+}
+
+// Figure7 reproduces the SPLASH-2 latency study.
+func Figure7(cfg LatencyConfig) SuiteResult {
+	return RunSuite("SPLASH-2", workloads.SPLASH2(), cfg)
+}
+
+// Figure8 reproduces the PARSEC latency study.
+func Figure8(cfg LatencyConfig) SuiteResult {
+	return RunSuite("PARSEC", workloads.PARSEC(), cfg)
+}
+
+// String implements fmt.Stringer.
+func (s SuiteResult) String() string {
+	return fmt.Sprintf("%s: overall +%.1f%% across %d apps", s.Suite, s.OverallDeltaPct, len(s.Points))
+}

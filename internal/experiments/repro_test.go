@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestFiguresReproduceShape is the full-scale reproduction guard: it runs
+// Figures 7 and 8 at the paper's scale and asserts the headline shape —
+// an overall fault-induced latency increase of roughly 10% on SPLASH-2
+// and roughly 13% on PARSEC, with PARSEC above SPLASH-2. It is the
+// slowest test in the repository (about two minutes single-threaded) and
+// is skipped under -short.
+func TestFiguresReproduceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Figure 7/8 run")
+	}
+	cfg := DefaultLatencyConfig()
+	f7 := Figure7(cfg)
+	f8 := Figure8(cfg)
+	t.Logf("SPLASH-2 overall +%.1f%%, PARSEC overall +%.1f%%", f7.OverallDeltaPct, f8.OverallDeltaPct)
+
+	if f7.OverallDeltaPct < 6 || f7.OverallDeltaPct > 16 {
+		t.Errorf("SPLASH-2 overall delta %.1f%% outside [6%%, 16%%] (paper: 10%%)", f7.OverallDeltaPct)
+	}
+	if f8.OverallDeltaPct < 9 || f8.OverallDeltaPct > 19 {
+		t.Errorf("PARSEC overall delta %.1f%% outside [9%%, 19%%] (paper: 13%%)", f8.OverallDeltaPct)
+	}
+	if f8.OverallDeltaPct <= f7.OverallDeltaPct {
+		t.Errorf("PARSEC delta %.1f%% not above SPLASH-2 %.1f%%", f8.OverallDeltaPct, f7.OverallDeltaPct)
+	}
+	// Every application individually must get slower under faults, and
+	// all runs must have seen a substantial fault population.
+	for _, s := range []SuiteResult{f7, f8} {
+		for _, p := range s.Points {
+			if p.Faulty <= p.FaultFree {
+				t.Errorf("%s: faulty latency %.1f not above fault-free %.1f", p.App, p.Faulty, p.FaultFree)
+			}
+			if p.Faults < 100 {
+				t.Errorf("%s: only %d faults present", p.App, p.Faults)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"math"
+
+	"gonoc/internal/core"
+	"gonoc/internal/rng"
+	"gonoc/internal/router"
+	"gonoc/internal/topology"
+)
+
+// CampaignResult summarizes a Monte-Carlo faults-to-failure campaign.
+type CampaignResult struct {
+	// Trials is the number of independent fault sequences evaluated.
+	Trials int
+	// Mean is the average number of faults injected before the router
+	// first became non-functional (the fault that kills it included).
+	Mean float64
+	// Min and Max are the observed extremes.
+	Min, Max int
+	// StdDev is the sample standard deviation.
+	StdDev float64
+}
+
+// Universe selects which fault sites a campaign draws from.
+type Universe int
+
+const (
+	// UniverseAll draws from every site of the router, including the VA
+	// stage-2 and SA stage-2 arbiters. The router tolerates more of
+	// these than the paper's conservative accounting admits, so observed
+	// faults-to-failure can exceed the Section VIII-E maximum.
+	UniverseAll Universe = iota
+	// UniversePaper draws only from the sites the paper's SPF analysis
+	// counts: RC units, VA stage-1 arbiter sets, SA stage-1 arbiters and
+	// bypasses, and crossbar muxes and secondary paths. (Section VIII
+	// explicitly counts crossbar faults instead of SA stage-2 faults and
+	// needs no circuitry — hence no countable site — for VA stage 2.)
+	UniversePaper
+)
+
+// SitesIn returns the fault sites of cfg restricted to universe u.
+func SitesIn(cfg router.Config, u Universe) []Site {
+	all := Sites(cfg)
+	if u == UniverseAll {
+		return all
+	}
+	var out []Site
+	for _, s := range all {
+		if s.Kind == VA2Arb || s.Kind == SA2Arb {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FaultsToFailure runs a Monte-Carlo campaign: in each trial a fresh
+// router accumulates uniformly ordered random faults until Functional()
+// first reports failure; the number of faults injected (inclusive) is the
+// trial's outcome. This is the experimental methodology BulletProof and
+// Vicis used for their Table III numbers, applied to our router.
+func FaultsToFailure(cfg router.Config, trials int, seed uint64, u Universe) CampaignResult {
+	mesh := topology.NewMesh(3, 3)
+	sites := SitesIn(cfg, u)
+	r := rng.New(seed)
+	res := CampaignResult{Trials: trials, Min: math.MaxInt}
+	var sum, sumSq float64
+	for trial := 0; trial < trials; trial++ {
+		rt := core.MustNew(4, mesh, cfg)
+		order := r.Perm(len(sites))
+		count := 0
+		for _, idx := range order {
+			Apply(rt, sites[idx], true)
+			count++
+			if !rt.Functional() {
+				break
+			}
+		}
+		sum += float64(count)
+		sumSq += float64(count) * float64(count)
+		if count < res.Min {
+			res.Min = count
+		}
+		if count > res.Max {
+			res.Max = count
+		}
+	}
+	res.Mean = sum / float64(trials)
+	varr := sumSq/float64(trials) - res.Mean*res.Mean
+	if varr > 0 {
+		res.StdDev = math.Sqrt(varr)
+	}
+	return res
+}
+
+// TheoreticalBounds returns the paper's analytical (min, max) number of
+// faults to cause failure for the protected router: min over stages of
+// the stage's minimum, and one plus the sum of tolerated faults. For the
+// 5-port, 4-VC router: (2, 28).
+func TheoreticalBounds(ports, vcs int) (min, max int) {
+	min = 2
+	if vcs < 2 {
+		min = 1
+	}
+	tolerated := ports + (vcs-1)*ports + ports + 2
+	return min, tolerated + 1
+}

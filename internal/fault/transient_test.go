@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+
+	"gonoc/internal/core"
+	"gonoc/internal/noc"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+func TestIsFaultyMirrorsApply(t *testing.T) {
+	mesh := topology.NewMesh(3, 3)
+	r := core.MustNew(4, mesh, protCfg())
+	for _, s := range Sites(protCfg()) {
+		if IsFaulty(r, s) {
+			t.Fatalf("fresh router reports %v faulty", s)
+		}
+		Apply(r, s, true)
+		if !IsFaulty(r, s) {
+			t.Fatalf("IsFaulty false after Apply(%v, true)", s)
+		}
+		Apply(r, s, false)
+		if IsFaulty(r, s) {
+			t.Fatalf("IsFaulty true after repair of %v", s)
+		}
+	}
+}
+
+func TestTransientInjectorExpires(t *testing.T) {
+	cfg := noc.Config{Width: 4, Height: 4, Router: protCfg(), Warmup: 0}
+	n := noc.MustNew(cfg, nil)
+	ti := NewTransientInjector(n, 0.05, 20, 3)
+	n.Run(200)
+	if ti.Strikes == 0 {
+		t.Fatal("no transient strikes")
+	}
+	// Stop striking; all outages must clear within Duration cycles.
+	ti.Rate = 0
+	n.Run(25)
+	if ti.Active() != 0 {
+		t.Fatalf("%d transients still active after expiry window", ti.Active())
+	}
+	// Every site must be healthy again.
+	for node := 0; node < 16; node++ {
+		rt := n.Router(node)
+		for _, s := range Sites(protCfg()) {
+			if IsFaulty(rt, s) {
+				t.Fatalf("router %d site %v still faulty after expiry", node, s)
+			}
+		}
+		if !rt.Functional() {
+			t.Fatalf("router %d not functional after all transients expired", node)
+		}
+	}
+}
+
+func TestTransientTrafficSurvives(t *testing.T) {
+	// Packets keep flowing and are conserved through a storm of
+	// transients on the protected network.
+	cfg := noc.Config{Width: 4, Height: 4, Router: protCfg(), Warmup: 0}
+	src := traffic.NewSynthetic(16, 0.02, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.5), 5)
+	src.StopAt(5000)
+	n := noc.MustNew(cfg, src)
+	ti := NewTransientInjector(n, 0.01, 10, 7)
+	n.Run(5000)
+	ti.Rate = 0
+	if !n.Drain(60000) {
+		t.Fatalf("network did not drain after transient storm: %d in flight", n.Stats().InFlight())
+	}
+	st := n.Stats()
+	if st.Created() != st.Ejected() {
+		t.Fatalf("packet loss under transients: %d created, %d ejected", st.Created(), st.Ejected())
+	}
+	if ti.Strikes < 100 {
+		t.Fatalf("storm too weak: %d strikes", ti.Strikes)
+	}
+}
+
+func TestTransientRespectsPermanentFaults(t *testing.T) {
+	cfg := noc.Config{Width: 2, Height: 2, Router: protCfg(), Warmup: 0}
+	n := noc.MustNew(cfg, nil)
+	// Permanently break a site, then let transients rain; the permanent
+	// fault must never be "repaired" by a transient expiry.
+	perm := Site{Kind: XBMux, Port: topology.East}
+	Apply(n.Router(0), perm, true)
+	NewTransientInjector(n, 0.3, 5, 11)
+	n.Run(500)
+	if !IsFaulty(n.Router(0), perm) {
+		t.Fatal("transient injector repaired a permanent fault")
+	}
+}
+
+func TestTransientLatencyImpactSmall(t *testing.T) {
+	// A sparse transient rate should barely move latency — transients are
+	// masked, the paper's motivation for focusing on permanents.
+	run := func(rate float64) float64 {
+		src := traffic.NewSynthetic(16, 0.02, traffic.Uniform(16), traffic.FixedSize(2), 9)
+		n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: protCfg(), Warmup: 500}, src)
+		if rate > 0 {
+			NewTransientInjector(n, rate, 5, 13)
+		}
+		n.Run(8000)
+		return n.Stats().AvgLatency()
+	}
+	clean := run(0)
+	dirty := run(0.002)
+	if dirty < clean {
+		// Masking can even reorder slightly; only fail on silliness.
+		t.Logf("transient run slightly faster: %.2f vs %.2f", dirty, clean)
+	}
+	if dirty > clean*1.25 {
+		t.Fatalf("sparse transients raised latency too much: %.2f vs %.2f", dirty, clean)
+	}
+}

@@ -1,0 +1,131 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentSingleFlit(t *testing.T) {
+	p := &Packet{ID: 1, Src: 0, Dst: 5, Size: 1}
+	fs := Segment(p)
+	if len(fs) != 1 {
+		t.Fatalf("got %d flits", len(fs))
+	}
+	f := fs[0]
+	if f.Kind != HeadTail || !f.Kind.IsHead() || !f.Kind.IsTail() {
+		t.Fatalf("single flit kind = %v", f.Kind)
+	}
+	if f.Pkt != p || f.Seq != 0 {
+		t.Fatalf("flit fields wrong: %+v", f)
+	}
+}
+
+func TestSegmentMultiFlit(t *testing.T) {
+	p := &Packet{ID: 2, Size: 5}
+	fs := Segment(p)
+	if len(fs) != 5 {
+		t.Fatalf("got %d flits", len(fs))
+	}
+	if fs[0].Kind != Head {
+		t.Errorf("first flit %v", fs[0].Kind)
+	}
+	for i := 1; i < 4; i++ {
+		if fs[i].Kind != Body {
+			t.Errorf("flit %d kind %v", i, fs[i].Kind)
+		}
+	}
+	if fs[4].Kind != Tail {
+		t.Errorf("last flit %v", fs[4].Kind)
+	}
+}
+
+func TestSegmentTwoFlit(t *testing.T) {
+	fs := Segment(&Packet{Size: 2})
+	if fs[0].Kind != Head || fs[1].Kind != Tail {
+		t.Fatalf("2-flit packet kinds: %v, %v", fs[0].Kind, fs[1].Kind)
+	}
+}
+
+func TestSegmentPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Segment of size-0 packet did not panic")
+		}
+	}()
+	Segment(&Packet{Size: 0})
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k              Kind
+		isHead, isTail bool
+	}{
+		{Head, true, false},
+		{Body, false, false},
+		{Tail, false, true},
+		{HeadTail, true, true},
+	}
+	for _, c := range cases {
+		if c.k.IsHead() != c.isHead || c.k.IsTail() != c.isTail {
+			t.Errorf("%v: IsHead=%v IsTail=%v", c.k, c.k.IsHead(), c.k.IsTail())
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	p := &Packet{CreatedAt: 10, InjectedAt: 14, EjectedAt: 40}
+	if p.Latency() != 30 {
+		t.Errorf("Latency = %d", p.Latency())
+	}
+	if p.NetworkLatency() != 26 {
+		t.Errorf("NetworkLatency = %d", p.NetworkLatency())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := &Packet{ID: 7, Src: 1, Dst: 2, Class: Response, Size: 3}
+	for _, f := range Segment(p) {
+		if f.String() == "" {
+			t.Fatal("empty flit string")
+		}
+	}
+	for _, k := range []Kind{Head, Body, Tail, HeadTail, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	for _, c := range []Class{Request, Response, Class(9)} {
+		if c.String() == "" {
+			t.Fatal("empty class string")
+		}
+	}
+}
+
+// Properties: for any size >= 1, segmentation yields exactly one head role,
+// one tail role, correct sequence numbers, and all flits share the packet.
+func TestSegmentProperties(t *testing.T) {
+	f := func(sz uint8) bool {
+		size := int(sz%64) + 1
+		p := &Packet{ID: 9, Size: size}
+		fs := Segment(p)
+		if len(fs) != size {
+			return false
+		}
+		heads, tails := 0, 0
+		for i, fl := range fs {
+			if fl.Seq != i || fl.Pkt != p {
+				return false
+			}
+			if fl.Kind.IsHead() {
+				heads++
+			}
+			if fl.Kind.IsTail() {
+				tails++
+			}
+		}
+		return heads == 1 && tails == 1 && fs[0].Kind.IsHead() && fs[size-1].Kind.IsTail()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

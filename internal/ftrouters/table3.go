@@ -1,0 +1,22 @@
+package ftrouters
+
+import "gonoc/internal/reliability"
+
+// TableIII returns the paper's Table III: the SPF comparison of the
+// proposed router against BulletProof, Vicis and RoCo. The comparator
+// rows use the fault counts published by (or deduced from) the respective
+// papers; the proposed-router row is computed from the Section VIII
+// analysis at the given area overhead (0.31 from the area model).
+//
+// Note RoCo's area overhead was not reported ("N/A"); the paper bounds
+// its SPF above by the raw fault count (SPF < 5.5), which dividing by a
+// zero overhead reproduces.
+func TableIII(proposedAreaOverhead float64) []reliability.SPFResult {
+	proposed := reliability.AnalyzeSPF(5, 4, proposedAreaOverhead)
+	return []reliability.SPFResult{
+		reliability.NewSPFResult("BulletProof", 0.52, 3.15),
+		reliability.NewSPFResult("Vicis", 0.42, 9.3),
+		reliability.NewSPFResult("RoCo", 0, 5.5),
+		proposed,
+	}
+}

@@ -1,0 +1,285 @@
+// Package noc wires routers, links and network interfaces into a complete
+// mesh network-on-chip and drives end-to-end simulations: traffic
+// generation, fault-injection hooks and statistics collection.
+//
+// The cycle model matches GARNET's at the granularity the paper needs:
+// routers have the 4-stage pipeline of Figure 2, inter-router links take
+// one cycle in each direction (flits downstream, credits upstream), and
+// each node's NI injects at most one flit per cycle.
+package noc
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/flit"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/topology"
+)
+
+const localPort = topology.Local
+
+// Traffic is the workload driving a simulation. Implementations must be
+// deterministic given their construction-time seed.
+type Traffic interface {
+	// Offered returns the packets node creates at cycle c (usually zero
+	// or one). The network stamps CreatedAt.
+	Offered(node int, c sim.Cycle) []*flit.Packet
+	// OnEject is invoked when a packet is delivered; any returned packets
+	// are offered at the delivery node (coherence-style replies). May be
+	// a no-op for open-loop synthetic traffic.
+	OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet
+}
+
+// Config configures a network.
+type Config struct {
+	// Width and Height are the mesh dimensions (the paper uses 8×8).
+	Width, Height int
+	// Router configures every router in the mesh.
+	Router router.Config
+	// Warmup is the statistics warmup window in cycles.
+	Warmup sim.Cycle
+}
+
+// DefaultConfig returns the paper's evaluation configuration: an 8×8 mesh
+// of protected 5×5 routers with 4 VCs.
+func DefaultConfig() Config {
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	return Config{Width: 8, Height: 8, Router: rc, Warmup: 1000}
+}
+
+// payload is an in-flight link transfer, delivered next cycle.
+type flitWire struct {
+	dst int // destination router
+	in  topology.Port
+	vc  int
+	f   *flit.Flit
+}
+
+type creditWire struct {
+	dst int // destination router (upstream)
+	c   core.CreditIn
+}
+
+type niCreditWire struct {
+	dst int // destination NI node
+	c   router.Credit
+}
+
+// Network is a complete W×H mesh NoC.
+type Network struct {
+	cfg     Config
+	mesh    topology.Mesh
+	routers []*core.Router
+	nis     []*NI
+	traffic Traffic
+	stats   *stats.Collector
+	cycle   sim.Cycle
+	nextID  uint64
+
+	// hooks run at the start of every cycle (fault injection, probes).
+	hooks []func(c sim.Cycle)
+
+	// linkFlits counts flits sent per (router, output port), for
+	// utilization analysis and the heatmap.
+	linkFlits [][]uint64
+
+	// link latches: generated this cycle, delivered next cycle.
+	flitWires     []flitWire
+	creditWires   []creditWire
+	niCreditWires []niCreditWire
+}
+
+// New builds a network. All routers share cfg.Router; traffic may be nil
+// for manually-driven tests.
+func New(cfg Config, traffic Traffic) (*Network, error) {
+	if cfg.Width < 2 || cfg.Height < 1 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	mesh := topology.NewMesh(cfg.Width, cfg.Height)
+	n := &Network{
+		cfg:     cfg,
+		mesh:    mesh,
+		traffic: traffic,
+		stats:   stats.NewCollector(cfg.Warmup),
+	}
+	n.routers = make([]*core.Router, mesh.Nodes())
+	n.nis = make([]*NI, mesh.Nodes())
+	n.linkFlits = make([][]uint64, mesh.Nodes())
+	for i := range n.linkFlits {
+		n.linkFlits[i] = make([]uint64, cfg.Router.Ports)
+	}
+	for id := 0; id < mesh.Nodes(); id++ {
+		r, err := core.New(id, mesh, cfg.Router)
+		if err != nil {
+			return nil, err
+		}
+		n.routers[id] = r
+		node := id
+		n.nis[id] = newNI(id, r, func(p *flit.Packet, c sim.Cycle) {
+			n.stats.RecordEjection(p)
+			if n.traffic != nil {
+				for _, rp := range n.traffic.OnEject(p, c) {
+					n.offer(node, rp, c)
+				}
+			}
+		})
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, traffic Traffic) *Network {
+	n, err := New(cfg, traffic)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Mesh returns the network topology.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// Router returns the router at node id.
+func (n *Network) Router(id int) *core.Router { return n.routers[id] }
+
+// NI returns the network interface at node id.
+func (n *Network) NI(id int) *NI { return n.nis[id] }
+
+// Stats returns the statistics collector.
+func (n *Network) Stats() *stats.Collector { return n.stats }
+
+// Now returns the current cycle.
+func (n *Network) Now() sim.Cycle { return n.cycle }
+
+// AddHook registers a function invoked at the start of every cycle, used
+// by the fault injector and test probes.
+func (n *Network) AddHook(h func(c sim.Cycle)) { n.hooks = append(n.hooks, h) }
+
+// offer stamps and enqueues a packet at node.
+func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
+	p.ID = n.nextID
+	n.nextID++
+	p.CreatedAt = c
+	p.Src = node
+	n.stats.RecordCreation(p)
+	n.nis[node].Offer(p)
+}
+
+// Inject offers a packet from src to the network immediately (for tests
+// and trace-driven runs). Class and Size must be set; Src is overwritten.
+func (n *Network) Inject(src int, p *flit.Packet) { n.offer(src, p, n.cycle) }
+
+// Step advances the network one cycle.
+func (n *Network) Step() {
+	c := n.cycle
+
+	// 0. Cycle hooks (fault injection etc.).
+	for _, h := range n.hooks {
+		h(c)
+	}
+
+	// 1. Deliver last cycle's link traffic.
+	for _, w := range n.flitWires {
+		n.routers[w.dst].AcceptFlit(router.InFlit{In: w.in, VC: w.vc, F: w.f})
+	}
+	n.flitWires = n.flitWires[:0]
+	for _, w := range n.creditWires {
+		n.routers[w.dst].AcceptCredit(w.c)
+	}
+	n.creditWires = n.creditWires[:0]
+	for _, w := range n.niCreditWires {
+		n.nis[w.dst].acceptCredit(w.c)
+	}
+	n.niCreditWires = n.niCreditWires[:0]
+
+	// 2. Traffic generation and NI injection.
+	if n.traffic != nil {
+		for node := range n.nis {
+			for _, p := range n.traffic.Offered(node, c) {
+				n.offer(node, p, c)
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		ni.tick(c)
+	}
+
+	// 3. Routers compute.
+	for _, r := range n.routers {
+		r.Tick(c)
+	}
+
+	// 4. Collect outputs onto the wires (delivered next cycle), except
+	// local ejection, which the NI consumes this cycle.
+	for id, r := range n.routers {
+		for _, of := range r.TakeOutFlits() {
+			n.linkFlits[id][of.Out]++
+			if of.Out == localPort {
+				n.nis[id].consume(of.F, c)
+				// Ejection credit back to this router's local output.
+				n.creditWires = append(n.creditWires, creditWire{
+					dst: id,
+					c:   core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()},
+				})
+				continue
+			}
+			nb, ok := n.mesh.Neighbor(id, of.Out)
+			if !ok {
+				panic(fmt.Sprintf("noc: router %d emitted flit through edge port %v", id, of.Out))
+			}
+			n.flitWires = append(n.flitWires, flitWire{
+				dst: nb, in: of.Out.Opposite(), vc: of.DownVC, f: of.F,
+			})
+		}
+		for _, cr := range r.TakeOutCredits() {
+			if cr.In == localPort {
+				n.niCreditWires = append(n.niCreditWires, niCreditWire{dst: id, c: cr})
+				continue
+			}
+			up, ok := n.mesh.Neighbor(id, cr.In)
+			if !ok {
+				panic(fmt.Sprintf("noc: router %d emitted credit through edge port %v", id, cr.In))
+			}
+			n.creditWires = append(n.creditWires, creditWire{
+				dst: up,
+				c:   core.CreditIn{Out: cr.In.Opposite(), VC: cr.VC, VCFree: cr.VCFree},
+			})
+		}
+	}
+
+	n.cycle++
+}
+
+// Run advances the network cycles steps.
+func (n *Network) Run(cycles sim.Cycle) {
+	for i := sim.Cycle(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain keeps stepping (traffic generation continues) until all offered
+// packets have been delivered or the cycle limit is reached. It returns
+// true when the network drained.
+func (n *Network) Drain(limit sim.Cycle) bool {
+	for n.cycle < limit {
+		if n.stats.InFlight() == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return n.stats.InFlight() == 0
+}
+
+// Functional reports whether every router in the network is functional.
+func (n *Network) Functional() bool {
+	for _, r := range n.routers {
+		if !r.Functional() {
+			return false
+		}
+	}
+	return true
+}

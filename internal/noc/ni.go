@@ -1,0 +1,149 @@
+package noc
+
+import (
+	"fmt"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+)
+
+// NI is a node's network interface. On the injection side it plays the
+// role of an upstream router for the local input port: it allocates a free
+// local VC per packet, tracks credits, and streams at most one flit per
+// cycle into the router. On the ejection side it consumes flits arriving
+// at the local output port instantly and returns credits.
+type NI struct {
+	node int
+	r    routerCore
+	cfg  router.Config
+
+	// queues holds packets waiting for a VC, one queue per message class.
+	queues [][]*flit.Packet
+	// active maps an allocated local VC to its remaining flits.
+	active map[int][]*flit.Flit
+	// vcBusy and credits track the router's local input VCs.
+	vcBusy  []bool
+	credits []int
+	// sendScan rotates the VC served first, for fairness.
+	sendScan int
+
+	// eject assembles arriving packets; flits of a packet arrive in
+	// order, so we only track the count per packet.
+	onEject func(*flit.Packet, sim.Cycle)
+}
+
+// routerCore is the router interface the NI depends on (satisfied by
+// *core.Router).
+type routerCore interface {
+	AcceptFlit(router.InFlit)
+	Config() router.Config
+}
+
+// newNI builds the network interface for node attached to router r.
+func newNI(node int, r routerCore, onEject func(*flit.Packet, sim.Cycle)) *NI {
+	cfg := r.Config()
+	ni := &NI{
+		node:    node,
+		r:       r,
+		cfg:     cfg,
+		queues:  make([][]*flit.Packet, cfg.Classes),
+		active:  make(map[int][]*flit.Flit),
+		vcBusy:  make([]bool, cfg.VCs),
+		credits: make([]int, cfg.VCs),
+		onEject: onEject,
+	}
+	for v := range ni.credits {
+		ni.credits[v] = cfg.Depth
+	}
+	return ni
+}
+
+// Offer enqueues a packet for injection. The packet's CreatedAt stamp must
+// already be set.
+func (ni *NI) Offer(p *flit.Packet) {
+	cls := int(p.Class)
+	if cls >= ni.cfg.Classes {
+		cls = ni.cfg.Classes - 1
+	}
+	ni.queues[cls] = append(ni.queues[cls], p)
+}
+
+// QueuedPackets returns the number of packets waiting for a VC.
+func (ni *NI) QueuedPackets() int {
+	n := 0
+	for _, q := range ni.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Sending reports whether any packet is mid-injection.
+func (ni *NI) Sending() bool { return len(ni.active) > 0 }
+
+// acceptCredit processes a credit returned by the router's local input
+// port.
+func (ni *NI) acceptCredit(c router.Credit) {
+	ni.credits[c.VC]++
+	if ni.credits[c.VC] > ni.cfg.Depth {
+		panic(fmt.Sprintf("noc: NI %d credit overflow on vc%d", ni.node, c.VC))
+	}
+	if c.VCFree {
+		ni.vcBusy[c.VC] = false
+	}
+}
+
+// tick allocates VCs to queued packets and sends at most one flit.
+func (ni *NI) tick(cy sim.Cycle) {
+	// Allocate a free local VC to the head packet of each class queue.
+	for cls := range ni.queues {
+		if len(ni.queues[cls]) == 0 {
+			continue
+		}
+		lo, hi := ni.cfg.ClassRange(cls)
+		for v := lo; v < hi; v++ {
+			if ni.vcBusy[v] {
+				continue
+			}
+			p := ni.queues[cls][0]
+			ni.queues[cls] = ni.queues[cls][1:]
+			p.InjectedAt = cy
+			ni.vcBusy[v] = true
+			ni.active[v] = flit.Segment(p)
+			break
+		}
+	}
+
+	// Send one flit from one active VC (the local link carries one flit
+	// per cycle), rotating the starting VC for fairness.
+	for i := 0; i < ni.cfg.VCs; i++ {
+		v := (ni.sendScan + i) % ni.cfg.VCs
+		fl, ok := ni.active[v]
+		if !ok || ni.credits[v] == 0 {
+			continue
+		}
+		f := fl[0]
+		ni.r.AcceptFlit(router.InFlit{In: localPort, VC: v, F: f})
+		ni.credits[v]--
+		if len(fl) == 1 {
+			delete(ni.active, v)
+		} else {
+			ni.active[v] = fl[1:]
+		}
+		ni.sendScan = (v + 1) % ni.cfg.VCs
+		break
+	}
+}
+
+// consume handles a flit ejected at the local output port.
+func (ni *NI) consume(f *flit.Flit, cy sim.Cycle) {
+	if f.Pkt.Dst != ni.node {
+		panic(fmt.Sprintf("noc: packet for node %d ejected at node %d", f.Pkt.Dst, ni.node))
+	}
+	if f.Kind.IsTail() {
+		f.Pkt.EjectedAt = cy
+		if ni.onEject != nil {
+			ni.onEject(f.Pkt, cy)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package noc
+
+import (
+	"testing"
+
+	"gonoc/internal/rng"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+// TestStressManyFaultsLongRun drives an 8x8 mesh for a long time with a
+// large set of randomly chosen tolerable faults and full drain, checking
+// packet conservation — the strongest end-to-end invariant we have.
+func TestStressManyFaultsLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress test")
+	}
+	cfg := testCfg(8, 8, true)
+	cfg.Router.Classes = 2
+	src := traffic.NewSynthetic(64, 0.02, traffic.Uniform(64), traffic.Bimodal(1, 5, 0.5), 2024)
+	src.StopAt(20000)
+	n := MustNew(cfg, src)
+
+	// Inject random faults, skipping any that would break a router.
+	r := rng.New(7)
+	injected := 0
+	for i := 0; i < 150; i++ {
+		id := r.Intn(64)
+		rt := n.Router(id)
+		p := topology.Port(r.Intn(5))
+		undo := func() {}
+		switch r.Intn(6) {
+		case 0:
+			rt.SetRCFault(p, 0, true)
+			undo = func() { rt.SetRCFault(p, 0, false) }
+		case 1:
+			v := r.Intn(4)
+			rt.SetVA1Fault(p, v, true)
+			undo = func() { rt.SetVA1Fault(p, v, false) }
+		case 2:
+			v := r.Intn(4)
+			rt.SetVA2Fault(p, v, true)
+			undo = func() { rt.SetVA2Fault(p, v, false) }
+		case 3:
+			rt.SetSA1Fault(p, true)
+			undo = func() { rt.SetSA1Fault(p, false) }
+		case 4:
+			rt.SetSA2Fault(p, true)
+			undo = func() { rt.SetSA2Fault(p, false) }
+		case 5:
+			rt.SetXBFault(p, true)
+			undo = func() { rt.SetXBFault(p, false) }
+		}
+		if !rt.Functional() {
+			undo()
+			continue
+		}
+		injected++
+	}
+	if injected < 60 {
+		t.Fatalf("only %d faults injected", injected)
+	}
+	if !n.Functional() {
+		t.Fatal("network must be functional after safe injection")
+	}
+
+	// Interleave runs with global credit-conservation checks.
+	for i := 0; i < 20; i++ {
+		n.Run(1000)
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("after %d cycles: %v", (i+1)*1000, err)
+		}
+	}
+	if !n.Drain(400000) {
+		t.Fatalf("network wedged: %d packets in flight after drain window", n.Stats().InFlight())
+	}
+	st := n.Stats()
+	if st.Created() != st.Ejected() {
+		t.Fatalf("packet loss: created %d, ejected %d", st.Created(), st.Ejected())
+	}
+	if st.Created() < 1000 {
+		t.Fatalf("too little traffic exercised: %d packets", st.Created())
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	t.Logf("delivered %d packets through %d faults, avg latency %.1f cycles",
+		st.Ejected(), injected, st.AvgLatency())
+}

@@ -1,0 +1,115 @@
+package reliability
+
+import "fmt"
+
+// Component identifies a fundamental circuit block of the router pipeline
+// (Table I's "FC" column plus the correction-circuitry blocks of Table II).
+type Component int
+
+// The fundamental components of the baseline pipeline and the correction
+// circuitry.
+const (
+	// Comparator6 is a 6-bit coordinate comparator (the RC unit's
+	// building block; two per RC unit for X and Y in an 8×8 mesh).
+	Comparator6 Component = iota
+	// Arb4 is a 4:1 round-robin arbiter.
+	Arb4
+	// Arb5 is a 5:1 round-robin arbiter.
+	Arb5
+	// Arb20 is a 20:1 round-robin arbiter (VA stage 2 in a 5-port,
+	// 4-VC router).
+	Arb20
+	// Mux4x1 is a 1-bit 4:1 multiplexer (SA control path).
+	Mux4x1
+	// Mux5x1x32 is a 32-bit 5:1 multiplexer (one crossbar output).
+	Mux5x1x32
+	// Mux2x1x32 is a 32-bit 2:1 multiplexer (the protected crossbar's
+	// per-output Pk mux).
+	Mux2x1x32
+	// Mux2x1Ctl is a 1-bit 2:1 multiplexer (the SA bypass mux).
+	Mux2x1Ctl
+	// Demux2x32 is a 32-bit 1:2 demultiplexer (protected crossbar).
+	Demux2x32
+	// Demux3x32 is a 32-bit 1:3 demultiplexer (protected crossbar).
+	Demux3x32
+	// DFFBit is one D flip-flop bit (the added state fields R2/VF/ID/SP/
+	// FSP and the bypass default-winner register).
+	DFFBit
+
+	numComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	names := [...]string{
+		"6-bit comparator", "4:1 arbiter", "5:1 arbiter", "20:1 arbiter",
+		"4:1 mux", "32-bit 5:1 mux", "32-bit 2:1 mux", "2:1 mux",
+		"32-bit 1:2 demux", "32-bit 1:3 demux", "DFF bit",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// transistors is the FET count of each component. With the calibrated 0.1
+// FIT/FET these counts reproduce the paper's component FIT values exactly
+// (Comparator6 = 11.7, Arb4 = 7.4, Arb20 = 36.9 ≈ 36.7, Mux4x1 = 4.8,
+// Mux5x1x32 = 204.8, DFFBit = 0.5, and the Table II correction totals).
+var transistors = [numComponents]int{
+	Comparator6: 117,
+	Arb4:        74,
+	Arb5:        93,
+	Arb20:       369,
+	Mux4x1:      48,
+	Mux5x1x32:   2048,
+	Mux2x1x32:   512,
+	Mux2x1Ctl:   16,
+	Demux2x32:   320,
+	Demux3x32:   640,
+	DFFBit:      5,
+}
+
+// Transistors returns the FET count of component c.
+func Transistors(c Component) int { return transistors[c] }
+
+// FITLibrary maps components to FIT rates under given operating
+// conditions.
+type FITLibrary struct {
+	params TDDBParams
+	duty   float64
+	vdd, t float64
+}
+
+// NewFITLibrary builds a component FIT library from the TDDB parameters at
+// the given duty cycle, supply voltage (V) and temperature (K). The paper
+// evaluates at duty = 1 (continuous stress), 1 V, 300 K.
+func NewFITLibrary(p TDDBParams, duty, vdd, t float64) *FITLibrary {
+	return &FITLibrary{params: p, duty: duty, vdd: vdd, t: t}
+}
+
+// DefaultFITLibrary returns the library at the paper's operating point.
+func DefaultFITLibrary() *FITLibrary {
+	return NewFITLibrary(DefaultTDDBParams(), 1.0, 1.0, 300)
+}
+
+// PerFET returns the FIT contribution of one transistor.
+func (l *FITLibrary) PerFET() float64 {
+	return l.params.FITPerFET(l.duty, l.vdd, l.t)
+}
+
+// FIT returns the FIT rate of component c: its transistor count times the
+// per-FET rate (the SOFR model applied within the component).
+func (l *FITLibrary) FIT(c Component) float64 {
+	return float64(transistors[c]) * l.PerFET()
+}
+
+// SumFIT applies the Sum-of-Failure-Rates model to a component inventory:
+// the circuit's FIT is the sum over components of count × FIT.
+func (l *FITLibrary) SumFIT(inv map[Component]int) float64 {
+	total := 0.0
+	for c, n := range inv {
+		total += float64(n) * l.FIT(c)
+	}
+	return total
+}

@@ -1,0 +1,216 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/core"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestCalibratedPerFET(t *testing.T) {
+	p := DefaultTDDBParams()
+	near(t, "FIT/FET", p.FITPerFET(1.0, 1.0, 300), 0.1, 1e-12)
+	// Duty cycle scales linearly (Equation 3).
+	near(t, "FIT/FET@50%", p.FITPerFET(0.5, 1.0, 300), 0.05, 1e-12)
+}
+
+func TestFORCPhysicsTrends(t *testing.T) {
+	p := DefaultTDDBParams()
+	// Higher temperature accelerates TDDB.
+	if p.FORC(1.0, 340) <= p.FORC(1.0, 300) {
+		t.Error("FORC did not increase with temperature")
+	}
+	// Higher voltage accelerates TDDB (voltage exponent is large and
+	// positive at operating temperatures).
+	if p.FORC(1.1, 300) <= p.FORC(1.0, 300) {
+		t.Error("FORC did not increase with voltage")
+	}
+}
+
+func TestComponentFITsMatchPaper(t *testing.T) {
+	lib := DefaultFITLibrary()
+	cases := []struct {
+		c    Component
+		want float64
+	}{
+		{Comparator6, 11.7},
+		{Arb4, 7.4},
+		{Arb5, 9.3},
+		{Arb20, 36.9}, // paper prints 36.7; see EXPERIMENTS.md
+		{Mux4x1, 4.8},
+		{Mux5x1x32, 204.8},
+		{Mux2x1x32, 51.2},
+		{Mux2x1Ctl, 1.6},
+		{Demux2x32, 32.0},
+		{Demux3x32, 64.0},
+		{DFFBit, 0.5},
+	}
+	for _, c := range cases {
+		near(t, c.c.String(), lib.FIT(c.c), c.want, 1e-9)
+	}
+}
+
+func TestTableIBaselineStageFIT(t *testing.T) {
+	lib := DefaultFITLibrary()
+	s := BaselineStageFIT(lib, PaperSpec())
+	near(t, "RC", s.RC, 117, 1e-9)
+	near(t, "VA", s.VA, 1478, 1e-9) // 100·7.4 + 20·36.9
+	near(t, "SA", s.SA, 203.5, 1e-9)
+	near(t, "XB", s.XB, 1024, 1e-9)
+	near(t, "total", s.Total(), 2822.5, 1e-9)
+}
+
+func TestTableIICorrectionStageFIT(t *testing.T) {
+	lib := DefaultFITLibrary()
+	s := CorrectionStageFIT(lib, PaperSpec())
+	near(t, "RC", s.RC, 117, 1e-9)
+	near(t, "VA", s.VA, 60, 1e-9)
+	near(t, "SA", s.SA, 53, 1e-9)
+	near(t, "XB", s.XB, 416, 1e-9)
+	near(t, "total", s.Total(), 646, 1e-9)
+}
+
+func TestEquation4BaselineMTTF(t *testing.T) {
+	lib := DefaultFITLibrary()
+	// Paper: ≈354,358 h from a rounded 2822 FIT; we carry 2822.5.
+	near(t, "MTTF_baseline", MTTFBaseline(lib, PaperSpec()), 354296, 1)
+}
+
+func TestEquation6ProtectedMTTF(t *testing.T) {
+	lib := DefaultFITLibrary()
+	// Paper: ≈2,190,696 h.
+	near(t, "MTTF_protected", MTTFProtected(lib, PaperSpec()), 2190696, 500)
+}
+
+func TestEquation7SixTimesImprovement(t *testing.T) {
+	lib := DefaultFITLibrary()
+	imp := Improvement(lib, PaperSpec())
+	near(t, "improvement", imp, 6.18, 0.02)
+	if imp < 5.5 || imp > 6.5 {
+		t.Errorf("improvement %v not ≈6", imp)
+	}
+}
+
+func TestExactParallelFormulaIsLower(t *testing.T) {
+	lib := DefaultFITLibrary()
+	exact := MTTFProtectedExact(lib, PaperSpec())
+	paper := MTTFProtected(lib, PaperSpec())
+	if exact >= paper {
+		t.Fatalf("exact %v should be below paper arithmetic %v", exact, paper)
+	}
+	// The exact 1-out-of-2 MTTF still shows a large improvement (~4.6×).
+	ratio := exact / MTTFBaseline(lib, PaperSpec())
+	if ratio < 4 || ratio > 5 {
+		t.Errorf("exact improvement %v outside [4, 5]", ratio)
+	}
+}
+
+func TestParallelMTTFProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		l1, l2 := float64(a)+1, float64(b)+1
+		p := ParallelMTTFPaper(l1, l2)
+		e := ParallelMTTFExact(l1, l2)
+		// Both exceed the better single component; exact ≤ paper.
+		best := math.Max(MTTFHours(l1), MTTFHours(l2))
+		return e > best && p > e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTTFHours(t *testing.T) {
+	near(t, "MTTF(2822)", MTTFHours(2822), 354358, 1)
+	if !math.IsInf(MTTFHours(0), 1) {
+		t.Error("MTTF of 0 FIT should be +Inf")
+	}
+}
+
+func TestStageBoundsPaper(t *testing.T) {
+	b := StageBounds(5, 4)
+	want := map[core.StageID][2]int{
+		core.StageRC: {5, 2},
+		core.StageVA: {15, 4},
+		core.StageSA: {5, 2},
+		core.StageXB: {2, 2},
+	}
+	for _, sb := range b {
+		w := want[sb.Stage]
+		if sb.MaxTolerated != w[0] || sb.MinToFail != w[1] {
+			t.Errorf("%v: bounds (%d, %d), want %v", sb.Stage, sb.MaxTolerated, sb.MinToFail, w)
+		}
+	}
+}
+
+func TestSPFPaperDesignPoint(t *testing.T) {
+	r := AnalyzeSPF(5, 4, 0.31)
+	if r.MinToFail != 2 || r.MaxToFail != 28 {
+		t.Fatalf("fault bounds (%d, %d), want (2, 28)", r.MinToFail, r.MaxToFail)
+	}
+	near(t, "mean faults", r.MeanFaults, 15, 1e-9)
+	near(t, "SPF", r.SPF, 11.45, 0.01) // paper prints 11.4
+}
+
+func TestSPFTwoVCs(t *testing.T) {
+	// Section VIII-E: with 2 VCs the SPF value drops to ≈7.
+	r := AnalyzeSPF(5, 2, 0.43)
+	near(t, "mean faults (2 VCs)", r.MeanFaults, 10, 1e-9)
+	near(t, "SPF (2 VCs)", r.SPF, 7.0, 0.05)
+}
+
+func TestSPFGrowsWithVCs(t *testing.T) {
+	// "This SPF value increases further beyond 11 if the number of VCs
+	// per input is increased beyond 4."
+	prev := 0.0
+	for _, v := range []int{2, 4, 6, 8} {
+		r := AnalyzeSPF(5, v, 0.31)
+		if r.SPF <= prev {
+			t.Fatalf("SPF not increasing at %d VCs: %v <= %v", v, r.SPF, prev)
+		}
+		prev = r.SPF
+	}
+}
+
+func TestNewSPFResult(t *testing.T) {
+	// BulletProof's Table III row: 52% overhead, 3.15 faults → SPF 2.07.
+	r := NewSPFResult("BulletProof", 0.52, 3.15)
+	near(t, "BulletProof SPF", r.SPF, 2.07, 0.01)
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestGenericTransistorModels(t *testing.T) {
+	// The generic models must agree with the calibrated library at the
+	// canonical sizes.
+	if ArbTransistors(4) != Transistors(Arb4) || ArbTransistors(20) != Transistors(Arb20) {
+		t.Error("arbiter model disagrees with library")
+	}
+	if MuxTransistors(5, 32) != Transistors(Mux5x1x32) || MuxTransistors(2, 1) != Transistors(Mux2x1Ctl) {
+		t.Error("mux model disagrees with library")
+	}
+	if DemuxTransistors(2, 32) != Transistors(Demux2x32) || DemuxTransistors(3, 32) != Transistors(Demux3x32) {
+		t.Error("demux model disagrees with library")
+	}
+	if ComparatorTransistors(6) != Transistors(Comparator6) {
+		t.Error("comparator model disagrees with library")
+	}
+	// Monotonicity in size.
+	if ArbTransistors(8) <= ArbTransistors(4) || MuxTransistors(3, 32) <= MuxTransistors(2, 32) {
+		t.Error("transistor models not monotone")
+	}
+}
+
+func TestSumFIT(t *testing.T) {
+	lib := DefaultFITLibrary()
+	inv := map[Component]int{Comparator6: 10}
+	near(t, "RC via SumFIT", lib.SumFIT(inv), 117, 1e-9)
+}

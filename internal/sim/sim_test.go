@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestStepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("fresh kernel at cycle %d", k.Now())
+	}
+	k.Step()
+	k.Step()
+	if k.Now() != 2 {
+		t.Fatalf("after 2 steps, Now() = %d", k.Now())
+	}
+}
+
+func TestTickOrderAndCycleValue(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	var cycles []Cycle
+	k.Register("a", TickFunc(func(c Cycle) { order = append(order, "a"); cycles = append(cycles, c) }))
+	k.Register("b", TickFunc(func(c Cycle) { order = append(order, "b") }))
+	k.Run(2)
+	want := []string{"a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+	if cycles[0] != 0 || cycles[1] != 1 {
+		t.Fatalf("cycle values seen by ticker: %v", cycles)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.Register("c", TickFunc(func(Cycle) { count++ }))
+	at, ok := k.RunUntil(func() bool { return count >= 5 }, 100)
+	if !ok || at != 5 {
+		t.Fatalf("RunUntil = (%d, %v), want (5, true)", at, ok)
+	}
+	// Already satisfied: no extra steps.
+	at2, ok2 := k.RunUntil(func() bool { return true }, 100)
+	if !ok2 || at2 != at {
+		t.Fatalf("RunUntil on satisfied predicate advanced to %d", at2)
+	}
+}
+
+func TestRunUntilHitsLimit(t *testing.T) {
+	k := NewKernel()
+	at, ok := k.RunUntil(func() bool { return false }, 10)
+	if ok || at != 10 {
+		t.Fatalf("RunUntil = (%d, %v), want (10, false)", at, ok)
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	NewKernel().Register("x", nil)
+}
+
+func TestComponents(t *testing.T) {
+	k := NewKernel()
+	k.Register("r0", TickFunc(func(Cycle) {}))
+	k.Register("r1", TickFunc(func(Cycle) {}))
+	got := k.Components()
+	if len(got) != 2 || got[0] != "r0" || got[1] != "r1" {
+		t.Fatalf("Components() = %v", got)
+	}
+	// Returned slice must be a copy.
+	got[0] = "mutated"
+	if k.Components()[0] != "r0" {
+		t.Fatal("Components() exposes internal slice")
+	}
+}

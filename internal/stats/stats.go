@@ -1,0 +1,155 @@
+// Package stats collects packet-level performance statistics from a NoC
+// simulation: latency (creation to ejection, i.e. including source
+// queueing), network latency (injection to ejection), hop counts and
+// throughput, with a warmup window excluded from measurement.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/sim"
+)
+
+// Collector accumulates per-packet statistics. Packets created before
+// Warmup are counted but excluded from latency measurement, the standard
+// methodology for steady-state NoC measurement.
+type Collector struct {
+	// Warmup is the cycle before which created packets are not measured.
+	Warmup sim.Cycle
+
+	created  uint64
+	ejected  uint64
+	measured uint64
+
+	latSum  float64
+	netSum  float64
+	hopSum  float64
+	latMin  sim.Cycle
+	latMax  sim.Cycle
+	flits   uint64
+	samples []float64 // packet latencies, for percentiles
+
+	byClass [flit.NumClasses]struct {
+		n      uint64
+		latSum float64
+	}
+}
+
+// NewCollector returns a collector measuring packets created at or after
+// warmup.
+func NewCollector(warmup sim.Cycle) *Collector {
+	return &Collector{Warmup: warmup, latMin: math.MaxUint64}
+}
+
+// RecordCreation notes that a packet was offered to the network.
+func (c *Collector) RecordCreation(*flit.Packet) { c.created++ }
+
+// RecordEjection records a completed packet. The packet must have its
+// CreatedAt and EjectedAt stamps set.
+func (c *Collector) RecordEjection(p *flit.Packet) {
+	c.ejected++
+	if p.CreatedAt < c.Warmup {
+		return
+	}
+	lat := p.Latency()
+	c.measured++
+	c.latSum += float64(lat)
+	c.netSum += float64(p.NetworkLatency())
+	c.hopSum += float64(p.Size)
+	c.flits += uint64(p.Size)
+	if lat < c.latMin {
+		c.latMin = lat
+	}
+	if lat > c.latMax {
+		c.latMax = lat
+	}
+	c.samples = append(c.samples, float64(lat))
+	if int(p.Class) < len(c.byClass) {
+		c.byClass[p.Class].n++
+		c.byClass[p.Class].latSum += float64(lat)
+	}
+}
+
+// Created returns the number of packets offered.
+func (c *Collector) Created() uint64 { return c.created }
+
+// Ejected returns the number of packets delivered.
+func (c *Collector) Ejected() uint64 { return c.ejected }
+
+// Measured returns the number of packets included in latency statistics.
+func (c *Collector) Measured() uint64 { return c.measured }
+
+// InFlight returns the number of packets offered but not yet delivered.
+func (c *Collector) InFlight() uint64 { return c.created - c.ejected }
+
+// AvgLatency returns the mean packet latency in cycles (creation to
+// ejection), or 0 with no measured packets.
+func (c *Collector) AvgLatency() float64 {
+	if c.measured == 0 {
+		return 0
+	}
+	return c.latSum / float64(c.measured)
+}
+
+// AvgNetworkLatency returns the mean in-network latency in cycles.
+func (c *Collector) AvgNetworkLatency() float64 {
+	if c.measured == 0 {
+		return 0
+	}
+	return c.netSum / float64(c.measured)
+}
+
+// ClassAvgLatency returns the mean latency of one message class.
+func (c *Collector) ClassAvgLatency(cls flit.Class) float64 {
+	b := c.byClass[cls]
+	if b.n == 0 {
+		return 0
+	}
+	return b.latSum / float64(b.n)
+}
+
+// MinLatency and MaxLatency return the observed latency extremes.
+func (c *Collector) MinLatency() sim.Cycle {
+	if c.measured == 0 {
+		return 0
+	}
+	return c.latMin
+}
+
+// MaxLatency returns the largest observed packet latency.
+func (c *Collector) MaxLatency() sim.Cycle { return c.latMax }
+
+// Percentile returns the p-th latency percentile (0 < p <= 100).
+func (c *Collector) Percentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(c.samples))
+	copy(s, c.samples)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// ThroughputFlits returns accepted flits per cycle over the measurement
+// interval ending at cycle end.
+func (c *Collector) ThroughputFlits(end sim.Cycle) float64 {
+	if end <= c.Warmup {
+		return 0
+	}
+	return float64(c.flits) / float64(end-c.Warmup)
+}
+
+// String implements fmt.Stringer.
+func (c *Collector) String() string {
+	return fmt.Sprintf("stats{created=%d ejected=%d avgLat=%.1f}", c.created, c.ejected, c.AvgLatency())
+}

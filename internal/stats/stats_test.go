@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/sim"
+)
+
+func mkPkt(created, ejected sim.Cycle, cls flit.Class, size int) *flit.Packet {
+	return &flit.Packet{CreatedAt: created, InjectedAt: created, EjectedAt: ejected, Class: cls, Size: size}
+}
+
+func TestBasicAccounting(t *testing.T) {
+	c := NewCollector(0)
+	p := &flit.Packet{CreatedAt: 10, InjectedAt: 12, EjectedAt: 40, Size: 5}
+	c.RecordCreation(p)
+	c.RecordEjection(p)
+	if c.Created() != 1 || c.Ejected() != 1 || c.Measured() != 1 {
+		t.Fatalf("counts: %d/%d/%d", c.Created(), c.Ejected(), c.Measured())
+	}
+	if c.AvgLatency() != 30 {
+		t.Errorf("AvgLatency = %v", c.AvgLatency())
+	}
+	if c.AvgNetworkLatency() != 28 {
+		t.Errorf("AvgNetworkLatency = %v", c.AvgNetworkLatency())
+	}
+	if c.InFlight() != 0 {
+		t.Errorf("InFlight = %d", c.InFlight())
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	c := NewCollector(0)
+	p := mkPkt(0, 10, flit.Request, 1)
+	c.RecordCreation(p)
+	if c.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", c.InFlight())
+	}
+	c.RecordEjection(p)
+	if c.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", c.InFlight())
+	}
+}
+
+func TestWarmupExclusion(t *testing.T) {
+	c := NewCollector(100)
+	early := mkPkt(50, 90, flit.Request, 1)
+	late := mkPkt(150, 170, flit.Request, 1)
+	for _, p := range []*flit.Packet{early, late} {
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	if c.Measured() != 1 {
+		t.Fatalf("Measured = %d, want 1", c.Measured())
+	}
+	if c.AvgLatency() != 20 {
+		t.Errorf("AvgLatency = %v, want 20 (early packet excluded)", c.AvgLatency())
+	}
+	if c.Ejected() != 2 {
+		t.Errorf("Ejected = %d, want 2", c.Ejected())
+	}
+}
+
+func TestMinMaxPercentile(t *testing.T) {
+	c := NewCollector(0)
+	for _, lat := range []sim.Cycle{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		p := mkPkt(0, lat, flit.Request, 1)
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	if c.MinLatency() != 10 || c.MaxLatency() != 100 {
+		t.Errorf("min/max = %d/%d", c.MinLatency(), c.MaxLatency())
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := c.Percentile(1); got != 10 {
+		t.Errorf("p1 = %v", got)
+	}
+}
+
+func TestClassBreakdown(t *testing.T) {
+	c := NewCollector(0)
+	req := mkPkt(0, 10, flit.Request, 1)
+	rsp := mkPkt(0, 30, flit.Response, 5)
+	for _, p := range []*flit.Packet{req, rsp} {
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	if got := c.ClassAvgLatency(flit.Request); got != 10 {
+		t.Errorf("request avg = %v", got)
+	}
+	if got := c.ClassAvgLatency(flit.Response); got != 30 {
+		t.Errorf("response avg = %v", got)
+	}
+	if got := c.AvgLatency(); got != 20 {
+		t.Errorf("overall avg = %v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := NewCollector(100)
+	for i := 0; i < 10; i++ {
+		p := mkPkt(150, 160, flit.Request, 4)
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	// 40 flits over cycles 100..300 = 0.2 flits/cycle.
+	if got := c.ThroughputFlits(300); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("throughput = %v, want 0.2", got)
+	}
+	if got := c.ThroughputFlits(50); got != 0 {
+		t.Errorf("throughput before warmup end = %v", got)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector(0)
+	if c.AvgLatency() != 0 || c.MinLatency() != 0 || c.Percentile(50) != 0 {
+		t.Fatal("empty collector returned nonzero stats")
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,55 @@
+// Package sweep runs independent simulation jobs in parallel. The
+// simulator core is deliberately single-threaded for determinism (see
+// internal/sim); throughput comes from running many configurations at
+// once — parameter sweeps, per-application experiments, Monte-Carlo
+// campaigns — each on its own goroutine with its own network and its own
+// deterministically derived seed.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run executes job(0..n-1) on up to workers goroutines and returns the
+// results in index order. workers <= 0 selects GOMAXPROCS. Jobs must be
+// independent; each should derive any randomness from its index so the
+// sweep is deterministic regardless of scheduling.
+func Run[T any](n, workers int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				results[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Map applies job to each input in parallel, preserving order.
+func Map[In, Out any](inputs []In, workers int, job func(In) Out) []Out {
+	return Run(len(inputs), workers, func(i int) Out { return job(inputs[i]) })
+}

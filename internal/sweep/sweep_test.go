@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderPreserved(t *testing.T) {
+	got := Run(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if out := Run(0, 4, func(int) int { return 1 }); out != nil {
+		t.Fatalf("expected nil, got %v", out)
+	}
+}
+
+func TestRunEachJobOnce(t *testing.T) {
+	var counts [50]int32
+	Run(50, 7, func(i int) struct{} {
+		atomic.AddInt32(&counts[i], 1)
+		return struct{}{}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	out := Run(10, 0, func(i int) int { return i })
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+func TestRunMoreWorkersThanJobs(t *testing.T) {
+	out := Run(3, 100, func(i int) int { return i + 1 })
+	if len(out) != 3 || out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out := Map(in, 2, func(s string) int { return len(s) })
+	want := []int{1, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestRunParallelismActuallyConcurrent(t *testing.T) {
+	// With 4 workers and jobs that block until all 4 started, completion
+	// proves concurrency.
+	start := make(chan struct{})
+	var started atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		Run(4, 4, func(i int) int {
+			if started.Add(1) == 4 {
+				close(start)
+			}
+			<-start
+			return i
+		})
+		close(done)
+	}()
+	<-done
+}

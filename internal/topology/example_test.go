@@ -1,0 +1,21 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"gonoc/internal/topology"
+)
+
+// ExampleMesh_RouteXY shows dimension-order routing across the paper's
+// 8×8 mesh: X is corrected before Y.
+func ExampleMesh_RouteXY() {
+	m := topology.NewMesh(8, 8)
+	src := m.ID(topology.Coord{X: 1, Y: 6})
+	dst := m.ID(topology.Coord{X: 4, Y: 2})
+	for _, hop := range m.PathXY(src, dst) {
+		fmt.Print(m.Coord(hop), " ")
+	}
+	fmt.Println()
+	// Output:
+	// (1,6) (2,6) (3,6) (4,6) (4,5) (4,4) (4,3) (4,2)
+}

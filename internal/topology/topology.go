@@ -1,0 +1,176 @@
+// Package topology models the NoC's physical structure: a 2-D mesh of
+// nodes, the five router ports (Local, North, East, South, West) and
+// dimension-order (XY) routing — the configuration the paper evaluates
+// (an 8×8 mesh, 64 cores, XY routing, 5×5 routers).
+package topology
+
+import "fmt"
+
+// Port identifies one of a mesh router's five ports. Port values double as
+// indices into per-port arrays throughout the simulator.
+type Port int
+
+// The five ports of a 2-D mesh router. Local connects to the node's
+// network interface (core/cache); the others connect to neighbouring
+// routers. North decreases y, South increases y, East increases x, West
+// decreases x (origin at the north-west corner).
+const (
+	Local Port = iota
+	North
+	East
+	South
+	West
+	// NumPorts is the router radix in a 2-D mesh.
+	NumPorts
+)
+
+// String implements fmt.Stringer.
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "L"
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	default:
+		return fmt.Sprintf("Port(%d)", int(p))
+	}
+}
+
+// Opposite returns the port on the neighbouring router that faces back at
+// p: a flit leaving through East arrives on the neighbour's West port.
+// It panics for Local, which has no peer router.
+func (p Port) Opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	panic(fmt.Sprintf("topology: port %v has no opposite", p))
+}
+
+// Coord is a node position in the mesh.
+type Coord struct{ X, Y int }
+
+// String implements fmt.Stringer.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Mesh is a W×H 2-D mesh topology. Node IDs are assigned row-major:
+// id = y*W + x.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh returns a W×H mesh. It panics unless both dimensions are >= 1.
+func NewMesh(w, h int) Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
+	}
+	return Mesh{W: w, H: h}
+}
+
+// Nodes returns the number of nodes (routers) in the mesh.
+func (m Mesh) Nodes() int { return m.W * m.H }
+
+// Coord returns the position of node id. It panics for out-of-range ids.
+func (m Mesh) Coord(id int) Coord {
+	if id < 0 || id >= m.Nodes() {
+		panic(fmt.Sprintf("topology: node %d outside %dx%d mesh", id, m.W, m.H))
+	}
+	return Coord{X: id % m.W, Y: id / m.W}
+}
+
+// ID returns the node id at position c. It panics for out-of-range coords.
+func (m Mesh) ID(c Coord) int {
+	if c.X < 0 || c.X >= m.W || c.Y < 0 || c.Y >= m.H {
+		panic(fmt.Sprintf("topology: coord %v outside %dx%d mesh", c, m.W, m.H))
+	}
+	return c.Y*m.W + c.X
+}
+
+// Neighbor returns the node reached from id through port p, and whether
+// such a neighbour exists (edge routers lack some neighbours; Local has
+// none).
+func (m Mesh) Neighbor(id int, p Port) (int, bool) {
+	c := m.Coord(id)
+	switch p {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return -1, false
+	}
+	if c.X < 0 || c.X >= m.W || c.Y < 0 || c.Y >= m.H {
+		return -1, false
+	}
+	return m.ID(c), true
+}
+
+// RouteXY performs dimension-order routing: it returns the output port a
+// flit at node cur must take to reach dst, correcting X before Y. When
+// cur == dst it returns Local.
+//
+// XY routing is deterministic, table-free (it needs only two coordinate
+// comparators, which is why the paper's RC unit is a pair of 6-bit
+// comparators) and deadlock-free on a mesh.
+func (m Mesh) RouteXY(cur, dst int) Port {
+	cc, dc := m.Coord(cur), m.Coord(dst)
+	switch {
+	case dc.X > cc.X:
+		return East
+	case dc.X < cc.X:
+		return West
+	case dc.Y > cc.Y:
+		return South
+	case dc.Y < cc.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// HopsXY returns the number of router-to-router hops on the XY route from
+// src to dst (the Manhattan distance).
+func (m Mesh) HopsXY(src, dst int) int {
+	s, d := m.Coord(src), m.Coord(dst)
+	return abs(s.X-d.X) + abs(s.Y-d.Y)
+}
+
+// PathXY returns the full sequence of nodes visited from src to dst under
+// XY routing, inclusive of both endpoints.
+func (m Mesh) PathXY(src, dst int) []int {
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		p := m.RouteXY(cur, dst)
+		next, ok := m.Neighbor(cur, p)
+		if !ok {
+			panic(fmt.Sprintf("topology: XY route from %d to %d fell off the mesh at %d", src, dst, cur))
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+// Package tracefile records and replays packet traces. The paper's
+// latency study is trace-driven (GEM5 produces the benchmark traffic that
+// GARNET then routes); this package provides the equivalent workflow for
+// gonoc: capture the packets a workload offers during one simulation,
+// persist them in a simple CSV format, and replay them later — against a
+// different router configuration, fault scenario or build — with the
+// offered traffic held exactly constant.
+//
+// The format is one record per packet:
+//
+//	cycle,src,dst,class,size
+//
+// with an optional "# gonoc-trace v1" comment header. CSV keeps traces
+// greppable and diffable; traces compress extremely well if stored at
+// rest.
+package tracefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/noc"
+	"gonoc/internal/sim"
+	"gonoc/internal/traffic"
+)
+
+// header is the optional first line of a trace file.
+const header = "# gonoc-trace v1"
+
+// Write serializes entries (sorted by cycle, then source) to w.
+func Write(w io.Writer, entries []traffic.TraceEntry) error {
+	sorted := make([]traffic.TraceEntry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Cycle != sorted[j].Cycle {
+			return sorted[i].Cycle < sorted[j].Cycle
+		}
+		return sorted[i].Src < sorted[j].Src
+	})
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for _, e := range sorted {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d\n",
+			e.Cycle, e.Src, e.Dst, int(e.Class), e.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace from r. Blank lines and '#' comments are ignored.
+func Read(r io.Reader) ([]traffic.TraceEntry, error) {
+	var out []traffic.TraceEntry
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var cyc uint64
+		var src, dst, cls, size int
+		if _, err := fmt.Sscanf(text, "%d,%d,%d,%d,%d", &cyc, &src, &dst, &cls, &size); err != nil {
+			return nil, fmt.Errorf("tracefile: line %d: %v", line, err)
+		}
+		if size < 1 || src < 0 || dst < 0 || cls < 0 || cls >= flit.NumClasses {
+			return nil, fmt.Errorf("tracefile: line %d: invalid record %q", line, text)
+		}
+		out = append(out, traffic.TraceEntry{
+			Cycle: sim.Cycle(cyc),
+			Src:   src,
+			Dst:   dst,
+			Class: flit.Class(cls),
+			Size:  size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Recorder wraps a noc.Traffic source, recording every packet it offers
+// (including closed-loop replies) so the offered workload can be
+// persisted and replayed. Attach it between the workload and the network:
+//
+//	rec := tracefile.NewRecorder(src)
+//	n := noc.MustNew(cfg, rec)
+//	... run ...
+//	tracefile.Write(f, rec.Entries())
+type Recorder struct {
+	inner noc.Traffic
+	log   []traffic.TraceEntry
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner noc.Traffic) *Recorder { return &Recorder{inner: inner} }
+
+// Offered implements noc.Traffic.
+func (r *Recorder) Offered(node int, c sim.Cycle) []*flit.Packet {
+	ps := r.inner.Offered(node, c)
+	r.record(node, c, ps)
+	return ps
+}
+
+// OnEject implements noc.Traffic, recording replies at the ejecting node.
+func (r *Recorder) OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet {
+	ps := r.inner.OnEject(p, c)
+	r.record(p.Dst, c, ps)
+	return ps
+}
+
+func (r *Recorder) record(node int, c sim.Cycle, ps []*flit.Packet) {
+	for _, p := range ps {
+		r.log = append(r.log, traffic.TraceEntry{
+			Cycle: c, Src: node, Dst: p.Dst, Class: p.Class, Size: p.Size,
+		})
+	}
+}
+
+// Entries returns the recorded trace.
+func (r *Recorder) Entries() []traffic.TraceEntry {
+	out := make([]traffic.TraceEntry, len(r.log))
+	copy(out, r.log)
+	return out
+}

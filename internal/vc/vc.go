@@ -1,0 +1,240 @@
+// Package vc models virtual channels and the router input port.
+//
+// Each input port of the paper's router (Figure 3d) holds V virtual
+// channels, each a small flit FIFO plus per-VC state fields:
+//
+//	G — the VC's pipeline state this cycle (idle / routing / VC
+//	    allocation / active)
+//	R — the routing computation result (requested output port)
+//	O — the VC allocation result (assigned downstream VC)
+//	P — FIFO read/write pointers (implicit in the buffer here)
+//	C — credit count (tracked by the upstream output side in gonoc)
+//
+// The protected router (Figure 4) adds five fields that implement arbiter
+// sharing and the crossbar secondary path:
+//
+//	R2  — the RC result a borrowing VC deposits with the lender
+//	VF  — flag: this VC's arbiters are currently lent out
+//	ID  — identity of the borrowing VC
+//	SP  — the output port to arbitrate for when using the secondary path
+//	FSP — flag: the secondary path must be used
+package vc
+
+import (
+	"fmt"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/topology"
+)
+
+// GState is the per-VC pipeline state (the 'G' field of Figure 3d).
+type GState uint8
+
+const (
+	// Idle: the VC holds no packet.
+	Idle GState = iota
+	// Routing: a head flit is waiting for (or in) routing computation.
+	Routing
+	// VCAlloc: routing is done; the head flit competes for a downstream VC.
+	VCAlloc
+	// Active: a downstream VC is allocated; flits compete in switch
+	// allocation until the tail departs.
+	Active
+)
+
+// String implements fmt.Stringer.
+func (g GState) String() string {
+	switch g {
+	case Idle:
+		return "I"
+	case Routing:
+		return "R"
+	case VCAlloc:
+		return "V"
+	case Active:
+		return "A"
+	default:
+		return fmt.Sprintf("GState(%d)", uint8(g))
+	}
+}
+
+// None is the sentinel for "no VC" in ID/OutVC fields.
+const None = -1
+
+// VC is a single virtual channel: a flit FIFO plus state fields.
+type VC struct {
+	// Index is this VC's position within its input port.
+	Index int
+
+	buf   []*flit.Flit
+	depth int
+
+	// G is the pipeline state.
+	G GState
+	// R is the routing computation result ('R' field).
+	R topology.Port
+	// OutVC is the allocated downstream VC ('O' field), or None.
+	OutVC int
+
+	// R2 holds a borrowing VC's routing result (protected router only).
+	R2 topology.Port
+	// VF is set while this VC's arbiters serve another VC.
+	VF bool
+	// ID names the VC borrowing the arbiters, or None.
+	ID int
+	// SP is the output port to request in SA when FSP is set.
+	SP topology.Port
+	// FSP indicates the crossbar secondary path must be used.
+	FSP bool
+
+	// CreditHome is the VC index the upstream router believes these flits
+	// occupy. It equals Index normally and diverges only after an SA-stage
+	// transfer (Section V-C1): credits and the tail's VC-free signal must
+	// be returned for the VC the upstream allocated, not the one the flits
+	// were moved into.
+	CreditHome int
+}
+
+// NewVC returns an empty VC with the given buffer depth. It panics if
+// depth < 1.
+func NewVC(index, depth int) *VC {
+	if depth < 1 {
+		panic(fmt.Sprintf("vc: invalid depth %d", depth))
+	}
+	return &VC{Index: index, depth: depth, OutVC: None, ID: None, CreditHome: index}
+}
+
+// Depth returns the buffer capacity in flits.
+func (v *VC) Depth() int { return v.depth }
+
+// Len returns the number of buffered flits.
+func (v *VC) Len() int { return len(v.buf) }
+
+// Free returns the remaining buffer space in flits.
+func (v *VC) Free() int { return v.depth - len(v.buf) }
+
+// Empty reports whether the buffer holds no flits.
+func (v *VC) Empty() bool { return len(v.buf) == 0 }
+
+// Push appends a flit. It panics on overflow — credit-based flow control
+// must make overflow impossible, so an overflow is a simulator bug.
+func (v *VC) Push(f *flit.Flit) {
+	if v.Free() == 0 {
+		panic(fmt.Sprintf("vc: overflow on VC %d (depth %d); flow-control bug", v.Index, v.depth))
+	}
+	v.buf = append(v.buf, f)
+}
+
+// Front returns the flit at the head of the FIFO without removing it, or
+// nil when empty.
+func (v *VC) Front() *flit.Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+// Pop removes and returns the flit at the head of the FIFO. It panics when
+// empty.
+func (v *VC) Pop() *flit.Flit {
+	if len(v.buf) == 0 {
+		panic(fmt.Sprintf("vc: pop from empty VC %d", v.Index))
+	}
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// ResetPacketState clears the allocation fields after a tail flit departs,
+// returning the VC to Idle. Buffered flits (of a next packet, under
+// non-atomic reallocation) are not touched; gonoc uses atomic reallocation
+// so the buffer is empty here.
+func (v *VC) ResetPacketState() {
+	v.G = Idle
+	v.R = topology.Local
+	v.OutVC = None
+	v.FSP = false
+	v.SP = topology.Local
+	v.CreditHome = v.Index
+}
+
+// ClearBorrow clears the borrow-request fields (R2/VF/ID) after the lent
+// arbiters finish an allocation on behalf of another VC.
+func (v *VC) ClearBorrow() {
+	v.R2 = topology.Local
+	v.VF = false
+	v.ID = None
+}
+
+// String implements fmt.Stringer.
+func (v *VC) String() string {
+	return fmt.Sprintf("VC%d{G=%v R=%v O=%d len=%d}", v.Index, v.G, v.R, v.OutVC, v.Len())
+}
+
+// InputPort is one router input port: V virtual channels sharing a link.
+type InputPort struct {
+	// Port is which router port this is.
+	Port topology.Port
+	// VCs are the port's virtual channels.
+	VCs []*VC
+}
+
+// NewInputPort returns an input port with nvc virtual channels of the
+// given depth.
+func NewInputPort(p topology.Port, nvc, depth int) *InputPort {
+	if nvc < 1 {
+		panic(fmt.Sprintf("vc: invalid VC count %d", nvc))
+	}
+	ip := &InputPort{Port: p, VCs: make([]*VC, nvc)}
+	for i := range ip.VCs {
+		ip.VCs[i] = NewVC(i, depth)
+	}
+	return ip
+}
+
+// FindLender scans the port's other VCs for one whose arbiters can be
+// borrowed by VC `requester`: per Section V-B1 the borrower "scan[s]
+// through the 'G' state field of all the other input VCs and pick[s] out
+// the first VC it encounters that is either idle or in switch allocation
+// state". VCs whose own arbiter sets are faulty (per arbFaulty) or that
+// are already lending (VF set) are skipped. Returns the lender index or
+// None.
+func (ip *InputPort) FindLender(requester int, arbFaulty func(vcIdx int) bool) int {
+	for _, v := range ip.VCs {
+		if v.Index == requester {
+			continue
+		}
+		if arbFaulty != nil && arbFaulty(v.Index) {
+			continue
+		}
+		if v.VF {
+			continue
+		}
+		if v.G == Idle || v.G == Active {
+			return v.Index
+		}
+	}
+	return None
+}
+
+// Transfer moves all flits and the packet state fields from VC src to VC
+// dst within this port — the read/write operation Section V-C1 uses to
+// feed the bypass path's default winner. dst must be empty and idle, src
+// non-empty. The paper notes flits and state move in parallel, costing one
+// cycle; the caller models that latency.
+func (ip *InputPort) Transfer(src, dst int) {
+	s, d := ip.VCs[src], ip.VCs[dst]
+	if !d.Empty() || d.G != Idle {
+		panic(fmt.Sprintf("vc: transfer into non-empty/busy VC %d (G=%v len=%d)", dst, d.G, d.Len()))
+	}
+	if s.Empty() {
+		panic(fmt.Sprintf("vc: transfer from empty VC %d", src))
+	}
+	d.buf = append(d.buf, s.buf...)
+	s.buf = s.buf[:0]
+	d.G, d.R, d.OutVC = s.G, s.R, s.OutVC
+	d.SP, d.FSP = s.SP, s.FSP
+	d.CreditHome = s.CreditHome
+	s.ResetPacketState()
+}

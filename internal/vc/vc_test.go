@@ -1,0 +1,250 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/topology"
+)
+
+func mkFlits(n int) []*flit.Flit {
+	return flit.Segment(&flit.Packet{ID: 1, Size: n})
+}
+
+func TestFIFOOrder(t *testing.T) {
+	v := NewVC(0, 4)
+	fs := mkFlits(4)
+	for _, f := range fs {
+		v.Push(f)
+	}
+	for i, want := range fs {
+		if got := v.Pop(); got != want {
+			t.Fatalf("pop %d returned wrong flit", i)
+		}
+	}
+	if !v.Empty() {
+		t.Fatal("VC not empty after draining")
+	}
+}
+
+func TestFrontNonDestructive(t *testing.T) {
+	v := NewVC(0, 2)
+	fs := mkFlits(2)
+	v.Push(fs[0])
+	if v.Front() != fs[0] || v.Front() != fs[0] {
+		t.Fatal("Front changed state")
+	}
+	if v.Len() != 1 {
+		t.Fatal("Front consumed a flit")
+	}
+	if NewVC(0, 1).Front() != nil {
+		t.Fatal("Front of empty VC not nil")
+	}
+}
+
+func TestFreeAccounting(t *testing.T) {
+	v := NewVC(0, 4)
+	if v.Free() != 4 || v.Depth() != 4 {
+		t.Fatalf("fresh VC: Free=%d Depth=%d", v.Free(), v.Depth())
+	}
+	fs := mkFlits(3)
+	v.Push(fs[0])
+	v.Push(fs[1])
+	if v.Free() != 2 || v.Len() != 2 {
+		t.Fatalf("after 2 pushes: Free=%d Len=%d", v.Free(), v.Len())
+	}
+	v.Pop()
+	if v.Free() != 3 {
+		t.Fatalf("after pop: Free=%d", v.Free())
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	v := NewVC(0, 1)
+	fs := mkFlits(2)
+	v.Push(fs[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	v.Push(fs[1])
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop from empty did not panic")
+		}
+	}()
+	NewVC(0, 1).Pop()
+}
+
+func TestResetPacketState(t *testing.T) {
+	v := NewVC(2, 4)
+	v.G = Active
+	v.R = topology.East
+	v.OutVC = 3
+	v.FSP = true
+	v.SP = topology.South
+	v.CreditHome = 0
+	v.ResetPacketState()
+	if v.G != Idle || v.OutVC != None || v.FSP || v.CreditHome != 2 {
+		t.Fatalf("reset left state %+v", v)
+	}
+}
+
+func TestClearBorrow(t *testing.T) {
+	v := NewVC(1, 4)
+	v.R2 = topology.West
+	v.VF = true
+	v.ID = 3
+	v.ClearBorrow()
+	if v.VF || v.ID != None {
+		t.Fatalf("borrow fields not cleared: %+v", v)
+	}
+}
+
+func TestFindLenderPrefersFirstIdleOrActive(t *testing.T) {
+	ip := NewInputPort(topology.North, 4, 4)
+	ip.VCs[0].G = VCAlloc // requester
+	ip.VCs[1].G = Routing // busy: not eligible
+	ip.VCs[2].G = Active  // eligible
+	ip.VCs[3].G = Idle    // eligible but later
+	if l := ip.FindLender(0, nil); l != 2 {
+		t.Fatalf("lender = %d, want 2", l)
+	}
+}
+
+func TestFindLenderSkipsFaultyAndLending(t *testing.T) {
+	ip := NewInputPort(topology.North, 4, 4)
+	for _, v := range ip.VCs {
+		v.G = Idle
+	}
+	ip.VCs[1].VF = true // already lending
+	faulty := func(i int) bool { return i == 2 }
+	if l := ip.FindLender(0, faulty); l != 3 {
+		t.Fatalf("lender = %d, want 3", l)
+	}
+}
+
+func TestFindLenderNone(t *testing.T) {
+	ip := NewInputPort(topology.North, 2, 4)
+	ip.VCs[0].G = VCAlloc
+	ip.VCs[1].G = VCAlloc // also allocating: not eligible this cycle
+	if l := ip.FindLender(0, nil); l != None {
+		t.Fatalf("lender = %d, want None", l)
+	}
+}
+
+func TestFindLenderExcludesSelf(t *testing.T) {
+	ip := NewInputPort(topology.North, 2, 4)
+	ip.VCs[0].G = Idle
+	ip.VCs[1].G = Routing
+	if l := ip.FindLender(0, nil); l != None {
+		t.Fatalf("lender = %d; requester must not lend to itself", l)
+	}
+}
+
+func TestTransferMovesFlitsAndState(t *testing.T) {
+	ip := NewInputPort(topology.East, 4, 4)
+	src, dst := ip.VCs[1], ip.VCs[2]
+	fs := mkFlits(3)
+	for _, f := range fs {
+		src.Push(f)
+	}
+	src.G = Active
+	src.R = topology.South
+	src.OutVC = 1
+	src.FSP = true
+	src.SP = topology.East
+
+	ip.Transfer(1, 2)
+
+	if dst.Len() != 3 || dst.Front() != fs[0] {
+		t.Fatalf("flits not moved: len=%d", dst.Len())
+	}
+	if dst.G != Active || dst.R != topology.South || dst.OutVC != 1 || !dst.FSP {
+		t.Fatalf("state not moved: %+v", dst)
+	}
+	if dst.CreditHome != 1 {
+		t.Fatalf("CreditHome = %d, want 1 (origin VC)", dst.CreditHome)
+	}
+	if !src.Empty() || src.G != Idle || src.OutVC != None {
+		t.Fatalf("source not reset: %+v", src)
+	}
+}
+
+func TestTransferIntoBusyPanics(t *testing.T) {
+	ip := NewInputPort(topology.East, 2, 4)
+	ip.VCs[0].Push(mkFlits(1)[0])
+	ip.VCs[0].G = Active
+	ip.VCs[1].G = Routing
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transfer into busy VC did not panic")
+		}
+	}()
+	ip.Transfer(0, 1)
+}
+
+func TestTransferFromEmptyPanics(t *testing.T) {
+	ip := NewInputPort(topology.East, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transfer from empty VC did not panic")
+		}
+	}()
+	ip.Transfer(0, 1)
+}
+
+func TestNewInputPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInputPort with 0 VCs did not panic")
+		}
+	}()
+	NewInputPort(topology.Local, 0, 4)
+}
+
+// Property: any sequence of pushes and pops preserves FIFO order and never
+// loses or duplicates flits.
+func TestFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		v := NewVC(0, 8)
+		next := 0
+		var expect []int
+		seq := 0
+		for _, push := range ops {
+			if push && v.Free() > 0 {
+				fl := &flit.Flit{Pkt: &flit.Packet{Size: 1}, Seq: seq}
+				seq++
+				v.Push(fl)
+				expect = append(expect, fl.Seq)
+			} else if !push && v.Len() > 0 {
+				got := v.Pop()
+				if got.Seq != expect[next] {
+					return false
+				}
+				next++
+			}
+		}
+		return v.Len() == len(expect)-next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	v := NewVC(0, 2)
+	if v.String() == "" {
+		t.Fatal("empty VC string")
+	}
+	for _, g := range []GState{Idle, Routing, VCAlloc, Active, GState(9)} {
+		if g.String() == "" {
+			t.Fatal("empty GState string")
+		}
+	}
+}
