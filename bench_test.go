@@ -28,6 +28,7 @@ import (
 	"gonoc/internal/experiments"
 	"gonoc/internal/fault"
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/reliability"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
@@ -174,6 +175,33 @@ func benchNetwork(b *testing.B, ft bool, faults bool) {
 func BenchmarkNetworkStep_Baseline8x8(b *testing.B)        { benchNetwork(b, false, false) }
 func BenchmarkNetworkStep_Protected8x8(b *testing.B)       { benchNetwork(b, true, false) }
 func BenchmarkNetworkStep_ProtectedFaulty8x8(b *testing.B) { benchNetwork(b, true, true) }
+
+// benchNetworkObs mirrors benchNetwork with the internal/obs layer
+// attached, so comparing against BenchmarkNetworkStep_Protected8x8 (obs
+// disabled — a nil pointer test per instrumentation site) quantifies the
+// cost of counters alone and of counters plus event tracing.
+func benchNetworkObs(b *testing.B, trace bool, faults bool) {
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	o := obs.New(1 << 16)
+	o.Tracer.SetEnabled(trace)
+	rc.Obs = o
+	src := traffic.NewSynthetic(64, 0.02, traffic.Uniform(64), traffic.Bimodal(1, 5, 0.6), 1)
+	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc, Warmup: 0}, src)
+	if faults {
+		fault.NewInjector(n, 5000, 2, true)
+		n.Run(20000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.ReportMetric(float64(n.Stats().Ejected()), "pkts_delivered")
+}
+
+func BenchmarkNetworkStep_ObsCounters8x8(b *testing.B)    { benchNetworkObs(b, false, false) }
+func BenchmarkNetworkStep_ObsTrace8x8(b *testing.B)       { benchNetworkObs(b, true, false) }
+func BenchmarkNetworkStep_ObsTraceFaulty8x8(b *testing.B) { benchNetworkObs(b, true, true) }
 
 func BenchmarkRouterTick(b *testing.B) {
 	rc := router.DefaultConfig()

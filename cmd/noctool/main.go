@@ -1,23 +1,33 @@
 // Command noctool regenerates every table and figure of the paper from
-// the gonoc library:
+// the gonoc library, and exposes the simulator for free-form use:
 //
 //	noctool tables            Tables I and II and the MTTF analysis (Eq. 4–7)
 //	noctool spf               Table III and the SPF-vs-VC sweep
 //	noctool campaign          Monte-Carlo faults-to-failure for all designs
-//	noctool area              Section VI-A area/power overheads
-//	noctool critpath          Section VI-B critical-path analysis
+//	noctool area              Section VI-A area/power overheads + VI-B
+//	noctool critpath          Section VI-B critical-path analysis only
 //	noctool latency           Figures 7 and 8 (SPLASH-2 / PARSEC latency)
 //	noctool sim               Free-form simulation with synthetic traffic
+//	noctool metrics           Simulate and print per-router obs counters
+//	noctool trace             Simulate and write a cycle-accurate event trace
+//	noctool ablation          Design-choice sweeps
+//	noctool record / replay   Record and replay offered-traffic traces
+//
+// The global -pprof flag (before the command) serves net/http/pprof for
+// profiling long simulations: noctool -pprof :6060 sim -cycles 10000000.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"gonoc/internal/experiments"
 	"gonoc/internal/fault"
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/topology"
@@ -27,11 +37,22 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	flag.Usage = usage
+	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "noctool: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+	}
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "tables":
@@ -45,11 +66,15 @@ func main() {
 		fmt.Print(experiments.FormatArea(a))
 	case "critpath":
 		a := experiments.Area()
-		fmt.Print(experiments.FormatArea(a))
+		fmt.Print(experiments.FormatCritPath(a))
 	case "latency":
 		err = runLatency(args)
 	case "sim":
 		err = runSim(args)
+	case "metrics":
+		err = runMetrics(args)
+	case "trace":
+		err = runTrace(args)
 	case "ablation":
 		err = runAblation(args)
 	case "record":
@@ -70,19 +95,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: noctool <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: noctool [-pprof addr] <command> [flags]
 
 commands:
   tables     print Tables I and II and the MTTF analysis (Eq. 4-7)
   spf        print Table III and the SPF-vs-VC sweep
   campaign   Monte-Carlo faults-to-failure campaigns for all designs
   area       print Section VI-A area/power overheads + VI-B critical path
-  critpath   alias of area
+  critpath   print only the Section VI-B critical-path analysis
   latency    run the Figure 7/8 latency study (-suite splash2|parsec|both)
   sim        run a synthetic-traffic simulation (see -h for flags)
+  metrics    run a simulation and print per-router observability counters
+  trace      run a simulation and write a cycle-accurate event trace
+             (-format chrome opens in chrome://tracing or ui.perfetto.dev)
   ablation   design-choice sweeps (bypass rotation, VC count, secondary path)
   record     record a workload's offered packets to a trace file
-  replay     replay a recorded trace (optionally with faults)`)
+  replay     replay a recorded trace (optionally with faults)
+
+global flags (before the command):
+  -pprof addr   serve net/http/pprof on addr (e.g. -pprof :6060)
+
+sim, metrics and trace accept -inject with comma-separated fault specs
+<router>:<kind>:<port>[:<vc>], e.g. -inject 5:sa1:e,0:va1:n:2; kinds are
+rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports l,n,e,s,w.`)
 }
 
 func runSPF(args []string) error {
@@ -135,27 +170,46 @@ func runLatency(args []string) error {
 	return nil
 }
 
-func runSim(args []string) error {
-	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
-	width := fs.Int("width", 8, "mesh width")
-	height := fs.Int("height", 8, "mesh height")
-	rate := fs.Float64("rate", 0.02, "packets per node per cycle")
-	pattern := fs.String("pattern", "uniform", "uniform, transpose, bitcomp, tornado, neighbor, hotspot")
-	cycles := fs.Uint64("cycles", 50000, "cycles to simulate")
-	warmup := fs.Uint64("warmup", 5000, "warmup cycles")
-	seed := fs.Uint64("seed", 1, "random seed")
-	faultMean := fs.Uint64("fault-mean", 0, "mean cycles between faults (0 = fault-free)")
-	baseline := fs.Bool("baseline", false, "use the unprotected baseline router")
-	heatmap := fs.Bool("heatmap", false, "print a router-load heatmap at the end")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+// simFlags is the network-setup flag group shared by the sim, metrics
+// and trace commands.
+type simFlags struct {
+	width, height *int
+	rate          *float64
+	pattern       *string
+	cycles        *uint64
+	warmup        *uint64
+	seed          *uint64
+	faultMean     *uint64
+	baseline      *bool
+	inject        *string
+}
 
+func addSimFlags(fs *flag.FlagSet) *simFlags {
+	return &simFlags{
+		width:     fs.Int("width", 8, "mesh width"),
+		height:    fs.Int("height", 8, "mesh height"),
+		rate:      fs.Float64("rate", 0.02, "packets per node per cycle"),
+		pattern:   fs.String("pattern", "uniform", "uniform, transpose, bitcomp, tornado, neighbor, hotspot"),
+		cycles:    fs.Uint64("cycles", 50000, "cycles to simulate (including warmup)"),
+		warmup:    fs.Uint64("warmup", 5000, "warmup cycles excluded from statistics"),
+		seed:      fs.Uint64("seed", 1, "random seed"),
+		faultMean: fs.Uint64("fault-mean", 0, "mean cycles between random faults (0 = none)"),
+		baseline:  fs.Bool("baseline", false, "use the unprotected baseline router"),
+		inject: fs.String("inject", "", "comma-separated fault specs "+
+			"<router>:<kind>:<port>[:<vc>] applied at cycle 0 (see noctool help)"),
+	}
+}
+
+// build constructs the network, applies any -inject faults at cycle 0 and
+// attaches the random injector when -fault-mean is set. o may be nil for
+// an uninstrumented run.
+func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 	rc := router.DefaultConfig()
-	rc.FaultTolerant = !*baseline
-	mesh := topology.NewMesh(*width, *height)
+	rc.FaultTolerant = !*sf.baseline
+	rc.Obs = o
+	mesh := topology.NewMesh(*sf.width, *sf.height)
 	var dest traffic.DestFn
-	switch *pattern {
+	switch *sf.pattern {
 	case "uniform":
 		dest = traffic.Uniform(mesh.Nodes())
 	case "transpose":
@@ -169,20 +223,47 @@ func runSim(args []string) error {
 	case "hotspot":
 		dest = traffic.Hotspot(mesh.Nodes(), []int{0, mesh.Nodes() - 1}, 0.3)
 	default:
-		return fmt.Errorf("unknown pattern %q", *pattern)
+		return nil, fmt.Errorf("unknown pattern %q", *sf.pattern)
 	}
-	src := traffic.NewSynthetic(mesh.Nodes(), *rate, dest, traffic.Bimodal(1, 5, 0.6), *seed)
+	src := traffic.NewSynthetic(mesh.Nodes(), *sf.rate, dest, traffic.Bimodal(1, 5, 0.6), *sf.seed)
 	n, err := noc.New(noc.Config{
-		Width: *width, Height: *height, Router: rc, Warmup: sim.Cycle(*warmup),
+		Width: *sf.width, Height: *sf.height, Router: rc, Warmup: sim.Cycle(*sf.warmup),
 	}, src)
+	if err != nil {
+		return nil, err
+	}
+	routers, sites, err := fault.ParseInjections(*sf.inject)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range routers {
+		if r >= mesh.Nodes() {
+			return nil, fmt.Errorf("fault spec router %d outside the %d-node mesh", r, mesh.Nodes())
+		}
+		fault.Apply(n.Router(r), sites[i], true)
+		o.RecordFault(obs.KFaultsInjected, obs.EvFaultInject, 0, r,
+			int(sites[i].Port), sites[i].Index, int32(sites[i].Kind.Stage()), sites[i].String())
+	}
+	if *sf.faultMean > 0 {
+		fault.NewInjector(n, sim.Cycle(*sf.faultMean), *sf.seed^0xabcdef, true)
+	}
+	return n, nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	sf := addSimFlags(fs)
+	heatmap := fs.Bool("heatmap", false, "print a router-load heatmap at the end")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, err := sf.build(nil)
 	if err != nil {
 		return err
 	}
-	if *faultMean > 0 {
-		fault.NewInjector(n, sim.Cycle(*faultMean), *seed^0xabcdef, true)
-	}
-	n.Run(sim.Cycle(*cycles))
+	n.Run(sim.Cycle(*sf.cycles))
 	st := n.Stats()
+	mesh := n.Mesh()
 	fmt.Printf("cycles:        %d\n", n.Now())
 	fmt.Printf("packets:       %d created, %d delivered, %d in flight\n",
 		st.Created(), st.Ejected(), st.InFlight())
@@ -195,6 +276,83 @@ func runSim(args []string) error {
 	if *heatmap {
 		fmt.Print(n.Heatmap())
 	}
+	return nil
+}
+
+// runMetrics runs an instrumented simulation and prints the per-router
+// observability counters.
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	sf := addSimFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := obs.New(1) // counters only; keep the trace ring minimal
+	o.Tracer.SetEnabled(false)
+	n, err := sf.build(o)
+	if err != nil {
+		return err
+	}
+	n.Run(sim.Cycle(*sf.cycles))
+	st := n.Stats()
+	fmt.Print(obs.FormatPerRouter(o.Metrics, uint64(n.Now())))
+	fmt.Printf("\npackets:    %d created, %d delivered, %d in flight\n",
+		st.Created(), st.Ejected(), st.InFlight())
+	fmt.Printf("latency:    avg %.2f cycles, p95 %.0f\n", st.AvgLatency(), st.Percentile(95))
+	fmt.Printf("functional: %v\n", n.Functional())
+	return nil
+}
+
+// runTrace runs an instrumented simulation and writes the captured event
+// trace to a file.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	sf := addSimFlags(fs)
+	out := fs.String("o", "trace.json", "output file")
+	format := fs.String("format", "chrome", "chrome (trace_event JSON) or jsonl (JSON Lines)")
+	events := fs.Int("events", 1<<20, "trace ring capacity; the most recent events are retained")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "chrome" && *format != "jsonl" {
+		return fmt.Errorf("unknown format %q (want chrome or jsonl)", *format)
+	}
+	o := obs.New(*events)
+	n, err := sf.build(o)
+	if err != nil {
+		return err
+	}
+	// Trace only the measured window: warmup cycles run untraced.
+	warm := sim.Cycle(*sf.warmup)
+	total := sim.Cycle(*sf.cycles)
+	if warm >= total {
+		fmt.Fprintf(os.Stderr, "noctool trace: warmup (%d) covers the whole run (%d cycles); "+
+			"pipeline events will be missing — lower -warmup or raise -cycles\n", warm, total)
+		warm = total
+	}
+	if warm > 0 {
+		o.Tracer.SetEnabled(false)
+		n.Run(warm)
+		o.Tracer.SetEnabled(true)
+	}
+	n.Run(total - warm)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *format == "chrome" {
+		err = o.Tracer.WriteChromeTrace(f)
+	} else {
+		err = o.Tracer.WriteJSONL(f)
+	}
+	if err != nil {
+		return err
+	}
+	retained := o.Tracer.Total() - o.Tracer.Dropped()
+	fmt.Printf("wrote %d events to %s (%s format; %d emitted, %d dropped by ring wrap)\n",
+		retained, *out, *format, o.Tracer.Total(), o.Tracer.Dropped())
 	return nil
 }
 

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"gonoc/internal/experiments"
 )
 
 func TestFindApp(t *testing.T) {
@@ -51,6 +56,121 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	}
 	if err := runReplay([]string{"-i", trace}); err != nil {
 		t.Fatalf("replay: %v", err)
+	}
+}
+
+// TestRunTraceChrome is the headline acceptance check: a 4×4 mesh with an
+// injected SA-stage fault must produce a valid Chrome trace_event file
+// containing at least one bypass/borrow event.
+func TestRunTraceChrome(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{
+		"-width", "4", "-height", "4", "-cycles", "4000", "-warmup", "500",
+		"-rate", "0.05", "-inject", "5:sa1:e,5:va1:n:0", "-o", out,
+	}
+	if err := runTrace(args); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	var bypass, borrow bool
+	for _, e := range doc.TraceEvents {
+		switch e.Name {
+		case "SA bypass":
+			bypass = true
+		case "VA borrow":
+			borrow = true
+		}
+		if e.Ph != "X" && e.Ph != "i" && e.Ph != "M" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !bypass || !borrow {
+		t.Errorf("trace has bypass=%v borrow=%v, want both (fault mechanisms not captured)", bypass, borrow)
+	}
+}
+
+func TestRunTraceJSONL(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{
+		"-width", "4", "-height", "4", "-cycles", "2000", "-warmup", "0",
+		"-inject", "5:sa1:e", "-format", "jsonl", "-o", out, "-events", "5000",
+	}
+	if err := runTrace(args); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		if _, ok := obj["kind"]; !ok {
+			t.Fatalf("line %d missing kind: %s", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("empty JSONL trace")
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	if err := runTrace([]string{"-format", "xml", "-o", out}); err == nil {
+		t.Error("trace accepted an unknown format")
+	}
+	if err := runTrace([]string{"-inject", "bogus", "-o", out}); err == nil {
+		t.Error("trace accepted a bad fault spec")
+	}
+	if err := runTrace([]string{"-width", "2", "-height", "2", "-inject", "9:sa1:e", "-o", out}); err == nil {
+		t.Error("trace accepted a fault spec outside the mesh")
+	}
+}
+
+func TestRunMetricsSmoke(t *testing.T) {
+	args := []string{
+		"-width", "4", "-height", "4", "-cycles", "2000", "-warmup", "200",
+		"-inject", "5:sa1:e", "-fault-mean", "1500",
+	}
+	if err := runMetrics(args); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+}
+
+// TestCritPathDiffersFromArea pins the fix for critpath printing the
+// identical report as area: critpath is now only the VI-B section.
+func TestCritPathDiffersFromArea(t *testing.T) {
+	a := experiments.Area()
+	full, crit := experiments.FormatArea(a), experiments.FormatCritPath(a)
+	if full == crit {
+		t.Fatal("critpath output identical to area output")
+	}
+	if !strings.Contains(crit, "critical path") || strings.Contains(crit, "Section VI-A") {
+		t.Errorf("critpath report wrong sections:\n%s", crit)
+	}
+	if !strings.HasSuffix(full, crit) {
+		t.Errorf("area report no longer embeds the critical-path section")
 	}
 }
 

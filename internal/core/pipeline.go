@@ -39,7 +39,7 @@ func (r *Router) acceptInputs() {
 // port (each port has a single RC unit). In the protected router the
 // duplicate unit covers a faulty primary, and the SP/FSP fields are set
 // when the computed output port's regular path is unusable (Section V-D).
-func (r *Router) rcStage(sim.Cycle) {
+func (r *Router) rcStage(cy sim.Cycle) {
 	for p := 0; p < r.cfg.Ports; p++ {
 		ip := r.in[p]
 		for i := 0; i < r.cfg.VCs; i++ {
@@ -65,6 +65,9 @@ func (r *Router) rcStage(sim.Cycle) {
 				// reports the router failed.
 			}
 			q.G = vc.VCAlloc
+			if o := r.obs; o != nil {
+				o.RCCompute(cy, p, idx, int(out), r.rc[p].Faulty(0))
+			}
 			r.rcScan[p] = (idx + 1) % r.cfg.VCs
 			break // one RC per port per cycle
 		}
@@ -110,7 +113,7 @@ func (r *Router) secondaryPathUsable(out topology.Port) bool {
 
 // vaStage runs the two-stage separable virtual-channel allocator,
 // including the protected router's arbiter borrowing.
-func (r *Router) vaStage(sim.Cycle) {
+func (r *Router) vaStage(cy sim.Cycle) {
 	// Reset stage-2 request lists.
 	for p := range r.va2req {
 		for v := range r.va2req[p] {
@@ -136,6 +139,9 @@ func (r *Router) vaStage(sim.Cycle) {
 					// Scenario 2: every candidate lender is busy
 					// allocating this cycle; wait one cycle.
 					r.Counters.VA1BorrowStalls++
+					if o := r.obs; o != nil {
+						o.VABorrowStall(cy, p, v)
+					}
 					continue
 				}
 				// Deposit the borrow request in the lender's state fields
@@ -146,6 +152,9 @@ func (r *Router) vaStage(sim.Cycle) {
 				lq.VF = true
 				arbVC = lender
 				r.Counters.VA1Borrows++
+				if o := r.obs; o != nil {
+					o.VABorrow(cy, p, v, lender)
+				}
 			}
 			out := int(q.R)
 			cls := r.cfg.ClassOf(v)
@@ -186,6 +195,9 @@ func (r *Router) vaStage(sim.Cycle) {
 				// Section V-B3: the requesters lose this downstream VC
 				// and re-arbitrate for a different one next cycle.
 				r.Counters.VA2Retries += uint64(len(cands))
+				if o := r.obs; o != nil {
+					o.VARetry(cy, out, dvc, len(cands))
+				}
 				continue
 			}
 			reqs := r.reqBuf[:r.cfg.Ports*r.cfg.VCs]
@@ -204,6 +216,9 @@ func (r *Router) vaStage(sim.Cycle) {
 			q.G = vc.Active
 			q.OutVC = dvc
 			r.outVCBusy[out][dvc] = true
+			if o := r.obs; o != nil {
+				o.VAAlloc(cy, wp, wv, out, dvc)
+			}
 		}
 	}
 }
@@ -241,12 +256,13 @@ func (r *Router) effectiveRequestPort(q *vc.VC) (topology.Port, bool) {
 
 // saStage runs the two-stage separable switch allocator with the
 // protected router's bypass path and VC transfer.
-func (r *Router) saStage(sim.Cycle) {
+func (r *Router) saStage(cy sim.Cycle) {
 	type winner struct {
 		vcIdx     int
 		reqPort   topology.Port
 		outPort   topology.Port
 		secondary bool
+		bypass    bool
 	}
 	winners := make([]winner, r.cfg.Ports)
 	for i := range winners {
@@ -262,7 +278,7 @@ func (r *Router) saStage(sim.Cycle) {
 		}
 		b := r.sa.Stage1(p)
 		var w int
-		var ok bool
+		var ok, bypassed bool
 		switch {
 		case !b.Arb.Faulty():
 			w, ok = b.Arb.Grant(ready)
@@ -289,8 +305,11 @@ func (r *Router) saStage(sim.Cycle) {
 				if !ready[a] {
 					continue // waiting (e.g., on credits)
 				}
-				w, ok = a, true
+				w, ok, bypassed = a, true, true
 				r.Counters.SABypassGrants++
+				if o := r.obs; o != nil {
+					o.SABypassGrant(p)
+				}
 				break
 			}
 			w, ok = b.Grant(ready)
@@ -298,11 +317,15 @@ func (r *Router) saStage(sim.Cycle) {
 				// The default winner cannot send. If it is idle and
 				// empty, transfer a sibling's flits and state into it;
 				// the transfer itself consumes this cycle.
-				r.tryTransfer(ip, p, w)
+				r.tryTransfer(cy, ip, p, w)
 				continue
 			}
 			if ok {
+				bypassed = true
 				r.Counters.SABypassGrants++
+				if o := r.obs; o != nil {
+					o.SABypassGrant(p)
+				}
 			}
 		}
 		if !ok {
@@ -313,7 +336,7 @@ func (r *Router) saStage(sim.Cycle) {
 		if !pathOK {
 			continue
 		}
-		winners[p] = winner{vcIdx: w, reqPort: reqPort, outPort: q.R, secondary: q.FSP}
+		winners[p] = winner{vcIdx: w, reqPort: reqPort, outPort: q.R, secondary: q.FSP, bypass: bypassed}
 	}
 
 	// Stage 2: one arbiter per output port resolves input-port conflicts.
@@ -347,6 +370,9 @@ func (r *Router) saStage(sim.Cycle) {
 			outPort:   win.outPort,
 			secondary: win.secondary,
 		})
+		if o := r.obs; o != nil {
+			o.SAGrant(cy, wp, win.vcIdx, int(win.outPort), win.bypass)
+		}
 	}
 }
 
@@ -357,7 +383,7 @@ func (r *Router) saStage(sim.Cycle) {
 // adoption: from the next cycle the moved packet is served as the default
 // winner, while flow control keeps the packet's original VC identity so
 // the upstream router's per-VC credits and allocation state stay exact.
-func (r *Router) tryTransfer(ip *vc.InputPort, port, dst int) {
+func (r *Router) tryTransfer(cy sim.Cycle, ip *vc.InputPort, port, dst int) {
 	d := ip.VCs[dst]
 	if d.G != vc.Idle || !d.Empty() {
 		return // default winner holds a packet that is simply not ready
@@ -383,13 +409,16 @@ func (r *Router) tryTransfer(ip *vc.InputPort, port, dst int) {
 		r.saAdopted[port] = cand
 		r.saAdoptAge[port] = 0
 		r.Counters.SATransfers++
+		if o := r.obs; o != nil {
+			o.SATransfer(cy, port, dst, cand)
+		}
 	}
 }
 
 // xbStage executes the previous cycle's grants: pops each granted flit,
 // moves it through the crossbar (secondary path when directed) and emits
 // it plus the upstream credit.
-func (r *Router) xbStage(sim.Cycle) {
+func (r *Router) xbStage(cy sim.Cycle) {
 	if r.cfg.FaultTolerant {
 		r.xbProt.BeginCycle()
 	} else {
@@ -424,6 +453,9 @@ func (r *Router) xbStage(sim.Cycle) {
 		}
 		f.Hops++
 		r.Counters.FlitsRouted++
+		if o := r.obs; o != nil {
+			o.XBTraverse(cy, int(g.inPort), g.inVC, int(g.outPort), g.secondary)
+		}
 		r.outFlits = append(r.outFlits, router.OutFlit{Out: g.outPort, DownVC: q.OutVC, F: f})
 		r.outCredits = append(r.outCredits, router.Credit{
 			In:     g.inPort,

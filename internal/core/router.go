@@ -33,6 +33,7 @@ import (
 
 	"gonoc/internal/crossbar"
 	"gonoc/internal/flit"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/topology"
@@ -136,6 +137,11 @@ type Router struct {
 
 	// Counters tallies mechanism activity.
 	Counters Counters
+
+	// obs is the pre-bound observability handle (nil when disabled, the
+	// default); every instrumentation site guards on it with one nil
+	// check so the disabled hot path stays allocation-free.
+	obs *obs.RouterObs
 }
 
 // New returns a router with the given id in mesh, configured by cfg.
@@ -173,6 +179,7 @@ func New(id int, mesh topology.Mesh, cfg router.Config) (*Router, error) {
 		r.xbBase = crossbar.NewBaseline(cfg.Ports)
 	}
 	r.reqBuf = make([]bool, cfg.Ports*cfg.VCs)
+	r.obs = obs.BindRouter(cfg.Obs, id, cfg.Ports)
 	return r, nil
 }
 

@@ -145,20 +145,35 @@ func FormatSPF(rows []reliability.SPFResult) string {
 	return b.String()
 }
 
-// FormatArea renders the Section VI report as text.
+// FormatArea renders the full Section VI report (VI-A overheads followed
+// by the VI-B critical path) as text.
 func FormatArea(a AreaReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Section VI-A — synthesis overheads (protected vs baseline)\n")
 	fmt.Fprintf(&b, "  area  +%.0f%% (correction only: +%.0f%%)\n", a.AreaOverhead*100, a.AreaOverheadNoDetect*100)
 	fmt.Fprintf(&b, "  power +%.0f%% (correction only: +%.0f%%)\n\n", a.PowerOverhead*100, a.PowerOverheadNoDetect*100)
+	b.WriteString(FormatCritPath(a))
+	return b.String()
+}
+
+// FormatCritPath renders only the Section VI-B critical-path analysis:
+// per-stage delays, the stage that sets the clock, and each stage's
+// slack under the protected clock.
+func FormatCritPath(a AreaReport) string {
+	var b strings.Builder
 	fmt.Fprintf(&b, "Section VI-B — critical path per stage\n")
 	prot := a.CritPath.ProtectedPs()
-	for _, st := range []core.StageID{core.StageRC, core.StageVA, core.StageSA, core.StageXB} {
-		fmt.Fprintf(&b, "  %-3v %6.0f ps → %6.0f ps (+%.0f%%)\n",
-			st, a.CritPath.BaselinePs.Stage(st), prot.Stage(st), a.CritPath.Overhead(st)*100)
-	}
 	bp, pp := a.CritPath.ClockPeriodPs()
-	fmt.Fprintf(&b, "  clock period %0.f ps → %0.f ps\n", bp, pp)
+	for _, st := range []core.StageID{core.StageRC, core.StageVA, core.StageSA, core.StageXB} {
+		limiter := ""
+		if prot.Stage(st) == pp {
+			limiter = "  ← sets the clock"
+		}
+		fmt.Fprintf(&b, "  %-3v %6.0f ps → %6.0f ps (+%.0f%%, slack %.0f ps)%s\n",
+			st, a.CritPath.BaselinePs.Stage(st), prot.Stage(st),
+			a.CritPath.Overhead(st)*100, pp-prot.Stage(st), limiter)
+	}
+	fmt.Fprintf(&b, "  clock period %0.f ps → %0.f ps (+%.1f%%)\n", bp, pp, (pp/bp-1)*100)
 	return b.String()
 }
 

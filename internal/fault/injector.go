@@ -2,6 +2,7 @@ package fault
 
 import (
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/rng"
 	"gonoc/internal/sim"
 )
@@ -36,6 +37,9 @@ type Injector struct {
 	// SafeOnly skips injections that would break a router.
 	SafeOnly bool
 
+	// obs receives injection events (nil when observability is off).
+	obs *obs.Observer
+
 	// next[router][stage] is the next scheduled injection cycle.
 	next [][]sim.Cycle
 	// sitesByStage[stage] lists site templates per stage.
@@ -53,6 +57,7 @@ func NewInjector(net *noc.Network, mean sim.Cycle, seed uint64, safeOnly bool) *
 		mean:     mean,
 		r:        rng.New(seed),
 		SafeOnly: safeOnly,
+		obs:      net.Obs(),
 		faulty:   map[int]map[Site]bool{},
 	}
 	cfg := net.Router(0).Config()
@@ -122,6 +127,8 @@ func (inj *Injector) inject(node, st int, c sim.Cycle) {
 		}
 		done[s] = true
 		inj.injected = append(inj.injected, Injection{Cycle: c, Router: node, Site: s})
+		inj.obs.RecordFault(obs.KFaultsInjected, obs.EvFaultInject,
+			c, node, int(s.Port), s.Index, int32(s.Kind.Stage()), s.String())
 		return
 	}
 }

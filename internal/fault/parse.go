@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gonoc/internal/topology"
+)
+
+// Injection spec grammar accepted by ParseInjection, used by noctool's
+// -inject flags:
+//
+//	<router>:<kind>:<port>[:<index>]
+//
+// router is a node id; kind is one of the mnemonics below; port is a
+// compass letter (l, n, e, s, w) or a numeric port id; index is the VC
+// index, required for the per-VC kinds (va1, va2) and rejected
+// otherwise.
+//
+//	rc      RCPrimary       rcdup   RCDuplicate
+//	va1     VA1ArbSet       va2     VA2Arb
+//	sa1     SA1Arb          sa1byp  SA1Bypass
+//	sa2     SA2Arb
+//	xb      XBMux           xbsec   XBSecondary
+//
+// Examples: "5:sa1:e" (SA1 arbiter, router 5, East input),
+// "0:va1:n:2" (VA1 arbiter set of North VC 2, router 0).
+var kindNames = map[string]Kind{
+	"rc":     RCPrimary,
+	"rcdup":  RCDuplicate,
+	"va1":    VA1ArbSet,
+	"va2":    VA2Arb,
+	"sa1":    SA1Arb,
+	"sa1byp": SA1Bypass,
+	"sa2":    SA2Arb,
+	"xb":     XBMux,
+	"xbsec":  XBSecondary,
+}
+
+var portNames = map[string]topology.Port{
+	"l": topology.Local,
+	"n": topology.North,
+	"e": topology.East,
+	"s": topology.South,
+	"w": topology.West,
+}
+
+// perVC reports whether kind k requires a VC index.
+func perVC(k Kind) bool { return k == VA1ArbSet || k == VA2Arb }
+
+// ParseInjection parses one injection spec (see the grammar above) and
+// returns the target router id and fault site.
+func ParseInjection(spec string) (router int, site Site, err error) {
+	fields := strings.Split(spec, ":")
+	if len(fields) < 3 || len(fields) > 4 {
+		return 0, Site{}, fmt.Errorf("fault spec %q: want <router>:<kind>:<port>[:<index>]", spec)
+	}
+	router, err = strconv.Atoi(fields[0])
+	if err != nil || router < 0 {
+		return 0, Site{}, fmt.Errorf("fault spec %q: bad router id %q", spec, fields[0])
+	}
+	kind, ok := kindNames[strings.ToLower(fields[1])]
+	if !ok {
+		return 0, Site{}, fmt.Errorf("fault spec %q: unknown kind %q (want rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb or xbsec)", spec, fields[1])
+	}
+	site.Kind = kind
+	if p, ok := portNames[strings.ToLower(fields[2])]; ok {
+		site.Port = p
+	} else {
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return 0, Site{}, fmt.Errorf("fault spec %q: bad port %q (want l, n, e, s, w or a port id)", spec, fields[2])
+		}
+		site.Port = topology.Port(n)
+	}
+	switch {
+	case perVC(kind) && len(fields) != 4:
+		return 0, Site{}, fmt.Errorf("fault spec %q: kind %q needs a VC index", spec, fields[1])
+	case !perVC(kind) && len(fields) == 4:
+		return 0, Site{}, fmt.Errorf("fault spec %q: kind %q takes no VC index", spec, fields[1])
+	case len(fields) == 4:
+		idx, err := strconv.Atoi(fields[3])
+		if err != nil || idx < 0 {
+			return 0, Site{}, fmt.Errorf("fault spec %q: bad VC index %q", spec, fields[3])
+		}
+		site.Index = idx
+	}
+	return router, site, nil
+}
+
+// ParseInjections parses a comma-separated list of injection specs.
+func ParseInjections(list string) (routers []int, sites []Site, err error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil, nil
+	}
+	for _, spec := range strings.Split(list, ",") {
+		r, s, err := ParseInjection(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, nil, err
+		}
+		routers = append(routers, r)
+		sites = append(sites, s)
+	}
+	return routers, sites, nil
+}

@@ -3,6 +3,7 @@ package fault
 import (
 	"gonoc/internal/core"
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/rng"
 	"gonoc/internal/sim"
 )
@@ -46,6 +47,7 @@ func IsFaulty(r *core.Router, s Site) bool {
 type TransientInjector struct {
 	net *noc.Network
 	r   *rng.Stream
+	obs *obs.Observer
 
 	// Rate is the probability per cycle per router of a transient strike.
 	Rate float64
@@ -71,6 +73,7 @@ func NewTransientInjector(net *noc.Network, rate float64, duration sim.Cycle, se
 	ti := &TransientInjector{
 		net:      net,
 		r:        rng.New(seed),
+		obs:      net.Obs(),
 		Rate:     rate,
 		Duration: duration,
 		sites:    Sites(net.Router(0).Config()),
@@ -86,6 +89,8 @@ func (ti *TransientInjector) hook(c sim.Cycle) {
 	for _, t := range ti.active {
 		if c >= t.expires {
 			Apply(ti.net.Router(t.router), t.site, false)
+			ti.obs.RecordFault(obs.KFaultsRecovered, obs.EvFaultRecover,
+				c, t.router, int(t.site.Port), t.site.Index, 0, t.site.String())
 			continue
 		}
 		kept = append(kept, t)
@@ -105,6 +110,8 @@ func (ti *TransientInjector) hook(c sim.Cycle) {
 		Apply(rt, s, true)
 		ti.active = append(ti.active, transient{router: node, site: s, expires: c + ti.Duration})
 		ti.Strikes++
+		ti.obs.RecordFault(obs.KFaultsTransient, obs.EvFaultTransient,
+			c, node, int(s.Port), s.Index, int32(ti.Duration), s.String())
 	}
 }
 

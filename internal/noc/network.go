@@ -13,6 +13,7 @@ import (
 
 	"gonoc/internal/core"
 	"gonoc/internal/flit"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
@@ -87,6 +88,10 @@ type Network struct {
 	// utilization analysis and the heatmap.
 	linkFlits [][]uint64
 
+	// obsNodes holds each node's pre-bound observability handle, all nil
+	// when cfg.Router.Obs is nil (the default).
+	obsNodes []*obs.NodeObs
+
 	// link latches: generated this cycle, delivered next cycle.
 	flitWires     []flitWire
 	creditWires   []creditWire
@@ -109,6 +114,7 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 	n.routers = make([]*core.Router, mesh.Nodes())
 	n.nis = make([]*NI, mesh.Nodes())
 	n.linkFlits = make([][]uint64, mesh.Nodes())
+	n.obsNodes = make([]*obs.NodeObs, mesh.Nodes())
 	for i := range n.linkFlits {
 		n.linkFlits[i] = make([]uint64, cfg.Router.Ports)
 	}
@@ -118,9 +124,13 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 			return nil, err
 		}
 		n.routers[id] = r
+		n.obsNodes[id] = obs.BindNode(cfg.Router.Obs, id, cfg.Router.Ports)
 		node := id
-		n.nis[id] = newNI(id, r, func(p *flit.Packet, c sim.Cycle) {
+		n.nis[id] = newNI(id, r, n.obsNodes[id], func(p *flit.Packet, c sim.Cycle) {
 			n.stats.RecordEjection(p)
+			if on := n.obsNodes[node]; on != nil {
+				on.NIEject(c, p.Latency())
+			}
 			if n.traffic != nil {
 				for _, rp := range n.traffic.OnEject(p, c) {
 					n.offer(node, rp, c)
@@ -159,6 +169,11 @@ func (n *Network) Now() sim.Cycle { return n.cycle }
 // by the fault injector and test probes.
 func (n *Network) AddHook(h func(c sim.Cycle)) { n.hooks = append(n.hooks, h) }
 
+// Obs returns the observer the network was configured with, or nil when
+// observability is disabled. The fault injectors and the watchdog use it
+// to report their events into the same registry and trace.
+func (n *Network) Obs() *obs.Observer { return n.cfg.Router.Obs }
+
 // offer stamps and enqueues a packet at node.
 func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 	p.ID = n.nextID
@@ -166,6 +181,9 @@ func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 	p.CreatedAt = c
 	p.Src = node
 	n.stats.RecordCreation(p)
+	if on := n.obsNodes[node]; on != nil {
+		on.NIOffer(c, p.Dst)
+	}
 	n.nis[node].Offer(p)
 }
 
@@ -218,6 +236,9 @@ func (n *Network) Step() {
 	for id, r := range n.routers {
 		for _, of := range r.TakeOutFlits() {
 			n.linkFlits[id][of.Out]++
+			if on := n.obsNodes[id]; on != nil {
+				on.LinkFlit(int(of.Out))
+			}
 			if of.Out == localPort {
 				n.nis[id].consume(of.F, c)
 				// Ejection credit back to this router's local output.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gonoc/internal/flit"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 )
@@ -31,6 +32,9 @@ type NI struct {
 	// eject assembles arriving packets; flits of a packet arrive in
 	// order, so we only track the count per packet.
 	onEject func(*flit.Packet, sim.Cycle)
+
+	// obs is the node's observability handle (nil when disabled).
+	obs *obs.NodeObs
 }
 
 // routerCore is the router interface the NI depends on (satisfied by
@@ -41,7 +45,7 @@ type routerCore interface {
 }
 
 // newNI builds the network interface for node attached to router r.
-func newNI(node int, r routerCore, onEject func(*flit.Packet, sim.Cycle)) *NI {
+func newNI(node int, r routerCore, on *obs.NodeObs, onEject func(*flit.Packet, sim.Cycle)) *NI {
 	cfg := r.Config()
 	ni := &NI{
 		node:    node,
@@ -52,6 +56,7 @@ func newNI(node int, r routerCore, onEject func(*flit.Packet, sim.Cycle)) *NI {
 		vcBusy:  make([]bool, cfg.VCs),
 		credits: make([]int, cfg.VCs),
 		onEject: onEject,
+		obs:     on,
 	}
 	for v := range ni.credits {
 		ni.credits[v] = cfg.Depth
@@ -113,6 +118,9 @@ func (ni *NI) tick(cy sim.Cycle) {
 			break
 		}
 	}
+	if ni.obs != nil {
+		ni.obs.NIQueueDepth(ni.QueuedPackets())
+	}
 
 	// Send one flit from one active VC (the local link carries one flit
 	// per cycle), rotating the starting VC for fairness.
@@ -124,6 +132,9 @@ func (ni *NI) tick(cy sim.Cycle) {
 		}
 		f := fl[0]
 		ni.r.AcceptFlit(router.InFlit{In: localPort, VC: v, F: f})
+		if ni.obs != nil {
+			ni.obs.NIFlitSent()
+		}
 		ni.credits[v]--
 		if len(fl) == 1 {
 			delete(ni.active, v)

@@ -28,7 +28,7 @@ func newFakeRouter() *fakeRouter {
 
 func TestNIAllocatesVCAndStreams(t *testing.T) {
 	fr := newFakeRouter()
-	ni := newNI(0, fr, nil)
+	ni := newNI(0, fr, nil, nil)
 	p := &flit.Packet{Dst: 5, Class: flit.Request, Size: 3}
 	ni.Offer(p)
 	if ni.QueuedPackets() != 1 {
@@ -60,7 +60,7 @@ func TestNIAllocatesVCAndStreams(t *testing.T) {
 
 func TestNIOneFlitPerCycle(t *testing.T) {
 	fr := newFakeRouter()
-	ni := newNI(0, fr, nil)
+	ni := newNI(0, fr, nil, nil)
 	// Two packets in different classes: both get VCs immediately, but the
 	// local link carries one flit per cycle.
 	ni.Offer(&flit.Packet{Dst: 1, Class: flit.Request, Size: 2})
@@ -79,7 +79,7 @@ func TestNIOneFlitPerCycle(t *testing.T) {
 
 func TestNIRespectsCredits(t *testing.T) {
 	fr := newFakeRouter()
-	ni := newNI(0, fr, nil)
+	ni := newNI(0, fr, nil, nil)
 	ni.Offer(&flit.Packet{Dst: 1, Class: flit.Request, Size: 6})
 	for c := sim.Cycle(0); c < 10; c++ {
 		ni.tick(c)
@@ -97,7 +97,7 @@ func TestNIRespectsCredits(t *testing.T) {
 
 func TestNIVCReuseAfterFree(t *testing.T) {
 	fr := newFakeRouter()
-	ni := newNI(0, fr, nil)
+	ni := newNI(0, fr, nil, nil)
 	ni.Offer(&flit.Packet{Dst: 1, Class: flit.Request, Size: 1})
 	ni.tick(0)
 	v := fr.got[0].VC
@@ -120,7 +120,7 @@ func TestNIVCReuseAfterFree(t *testing.T) {
 func TestNIEjectionCallback(t *testing.T) {
 	fr := newFakeRouter()
 	var done []*flit.Packet
-	ni := newNI(3, fr, func(p *flit.Packet, c sim.Cycle) { done = append(done, p) })
+	ni := newNI(3, fr, nil, func(p *flit.Packet, c sim.Cycle) { done = append(done, p) })
 	p := &flit.Packet{Dst: 3, Size: 2}
 	fs := flit.Segment(p)
 	ni.consume(fs[0], 100)
@@ -135,7 +135,7 @@ func TestNIEjectionCallback(t *testing.T) {
 
 func TestNIWrongDestinationPanics(t *testing.T) {
 	fr := newFakeRouter()
-	ni := newNI(3, fr, nil)
+	ni := newNI(3, fr, nil, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("misdelivered packet did not panic")

@@ -1,0 +1,147 @@
+package noc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gonoc/internal/obs"
+	"gonoc/internal/router"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+// obsCfg returns a 4×4 protected-mesh config with observability enabled.
+func obsCfg(o *obs.Observer) Config {
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	rc.Obs = o
+	return Config{Width: 4, Height: 4, Router: rc}
+}
+
+// TestObsCountersMatchRouterCounters cross-checks the obs registry
+// against the router's own mechanism tally: the two are maintained at
+// the same instrumentation sites, so any divergence means a counter was
+// bound to the wrong key.
+func TestObsCountersMatchRouterCounters(t *testing.T) {
+	o := obs.New(1 << 14)
+	src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 9)
+	n := MustNew(obsCfg(o), src)
+
+	// An SA1 fault engages the bypass path (and transfers); a VA1 fault
+	// engages arbiter borrowing; an XB fault engages the secondary path.
+	rt := n.Router(5)
+	rt.SetSA1Fault(topology.East, true)
+	rt.SetVA1Fault(topology.North, 0, true)
+	rt.SetXBFault(topology.West, true)
+	n.Run(4000)
+
+	var wantBypass, wantBorrow, wantSecondary, wantFlits uint64
+	for id := 0; id < 16; id++ {
+		c := n.Router(id).Counters
+		wantBypass += c.SABypassGrants
+		wantBorrow += c.VA1Borrows
+		wantSecondary += c.XBSecondary
+		wantFlits += c.FlitsRouted
+	}
+	if wantBypass == 0 || wantBorrow == 0 || wantSecondary == 0 {
+		t.Fatalf("fault mechanisms not engaged: bypass=%d borrow=%d secondary=%d",
+			wantBypass, wantBorrow, wantSecondary)
+	}
+
+	sum := func(k obs.Kind) uint64 {
+		var s uint64
+		for _, r := range o.Metrics.PerRouter() {
+			s += r.Total[k]
+		}
+		return s
+	}
+	checks := []struct {
+		kind obs.Kind
+		want uint64
+	}{
+		{obs.KSABypassGrants, wantBypass},
+		{obs.KVA1Borrows, wantBorrow},
+		{obs.KXBSecondary, wantSecondary},
+		{obs.KFlitsRouted, wantFlits},
+	}
+	for _, c := range checks {
+		if got := sum(c.kind); got != c.want {
+			t.Errorf("%v = %d, want %d (router tally)", c.kind, got, c.want)
+		}
+	}
+
+	// NI accounting must match the stats collector.
+	if got, want := sum(obs.KNIPacketsOffered), n.Stats().Created(); got != want {
+		t.Errorf("ni.packets_offered = %d, want %d", got, want)
+	}
+	if got, want := sum(obs.KNIPacketsEjected), n.Stats().Ejected(); got != want {
+		t.Errorf("ni.packets_ejected = %d, want %d", got, want)
+	}
+
+	// Link counters must match the network's own per-link tally.
+	var wantLink uint64
+	for id := 0; id < 16; id++ {
+		wantLink += n.RouterFlits(id)
+	}
+	if got := sum(obs.KLinkFlits); got != wantLink {
+		t.Errorf("link.flits = %d, want %d", got, wantLink)
+	}
+}
+
+// TestObsTraceCapturesFaultMechanisms runs a faulty mesh and checks the
+// Chrome trace contains the borrow/bypass events the paper's analysis
+// reasons about.
+func TestObsTraceCapturesFaultMechanisms(t *testing.T) {
+	o := obs.New(1 << 15)
+	src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 11)
+	n := MustNew(obsCfg(o), src)
+	n.Router(5).SetSA1Fault(topology.East, true)
+	n.Router(5).SetVA1Fault(topology.North, 0, true)
+	n.Run(3000)
+
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Pid  int32  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	found := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		found[e.Name] = true
+	}
+	for _, want := range []string{"SA bypass", "VA borrow", "XB traverse", "NI eject"} {
+		if !found[want] {
+			t.Errorf("trace missing %q events (got %v)", want, keys(found))
+		}
+	}
+}
+
+// TestObsDisabledNetworkRuns is the no-op guard at network level: a nil
+// Obs must simulate identically and leave no handles bound.
+func TestObsDisabledNetworkRuns(t *testing.T) {
+	src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 9)
+	n := MustNew(obsCfg(nil), src)
+	n.Run(1000)
+	if n.Obs() != nil {
+		t.Fatal("Obs() should be nil when disabled")
+	}
+	if n.Stats().Ejected() == 0 {
+		t.Fatal("disabled-obs network delivered nothing")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// of monotonic counters and gauges keyed by (router, port, VC, kind), and
+// a ring-buffered cycle-accurate event tracer with JSON Lines and Chrome
+// trace_event sinks.
+//
+// # Why it exists
+//
+// The paper's evaluation reasons about where inside the router faults
+// bite — per pipeline stage, per port, per VC — but endpoint packet
+// statistics (internal/stats) cannot show pipeline occupancy, arbiter
+// borrows, bypass activations or secondary-crossbar detours. This package
+// makes that activity visible without perturbing the thing it measures.
+//
+// # Design
+//
+// Observability is opt-in per simulation via router.Config.Obs. When the
+// field is nil — the default — every instrumentation site in the hot path
+// reduces to one nil pointer test and no allocation, so the disabled
+// simulator profile is indistinguishable from an uninstrumented build
+// (bench_test.go keeps the comparison honest). When enabled, components
+// resolve their counter handles once at attach time (RouterObs, NodeObs);
+// per-event work is then a few predictable atomic adds plus, when tracing,
+// one ring-buffer store.
+//
+// # Data flow
+//
+//	core.Router ──RouterObs──▶ Metrics (counters/gauges)
+//	noc.Network/NI ──NodeObs──▶   │             │
+//	fault.Injector ──Observer──▶  │          Tracer (ring buffer)
+//	watchdog.Monitor ─Observer─▶  │             │
+//	                              ▼             ▼
+//	              noctool metrics table   trace.json (Chrome) / JSONL
+//
+// The Tracer retains the most recent window of events (ring buffer), so
+// arbitrarily long campaigns stay bounded in memory while the tail — the
+// part that explains how the simulation ended — is always available.
+package obs
+
+import "gonoc/internal/sim"
+
+// Observer bundles the two collection surfaces. Either field may be nil
+// to collect only metrics or only a trace.
+type Observer struct {
+	// Metrics is the counter/gauge registry, or nil.
+	Metrics *Metrics
+	// Tracer captures cycle-stamped events, or nil.
+	Tracer *Tracer
+}
+
+// New returns an Observer with a fresh metrics registry and, when
+// traceCapacity > 0, a tracer retaining that many events.
+func New(traceCapacity int) *Observer {
+	o := &Observer{Metrics: NewMetrics()}
+	if traceCapacity > 0 {
+		o.Tracer = NewTracer(traceCapacity)
+	}
+	return o
+}
+
+// counter returns a bound counter handle, or nil when metrics are off.
+func (o *Observer) counter(k Key) *Counter {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Counter(k)
+}
+
+// gauge returns a bound gauge handle, or nil when metrics are off.
+func (o *Observer) gauge(k Key) *Gauge {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(k)
+}
+
+// emit forwards an event to the tracer, if any.
+func (o *Observer) emit(e Event) {
+	if o != nil && o.Tracer != nil {
+		o.Tracer.Emit(e)
+	}
+}
+
+// RecordFault counts and traces one fault-layer occurrence (injection,
+// transient strike, recovery, detection). kind selects the counter
+// series; ev the event class. port/vcIdx locate the site (NoPort/NoVC
+// when not applicable), arg carries the event's Kind-specific argument
+// and detail an optional site name. Fault events are rare, so this
+// resolves the counter per call instead of pre-binding.
+func (o *Observer) RecordFault(kind Kind, ev EventKind, cy sim.Cycle, routerID, port, vcIdx int, arg int32, detail string) {
+	if o == nil {
+		return
+	}
+	if c := o.counter(Key{Kind: kind, Router: int32(routerID), Port: int8(port), VC: int8(vcIdx)}); c != nil {
+		c.Inc()
+	}
+	o.emit(Event{
+		Cycle: cy, Kind: ev, Router: int32(routerID),
+		Port: int8(port), VC: int8(vcIdx), Arg: arg, Detail: detail,
+	})
+}
+
+// inc is a nil-tolerant counter increment for pre-bound handles.
+func inc(c *Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// RouterObs is a router's pre-bound instrumentation handle: every
+// counter the pipeline touches is resolved once here, so the per-event
+// cost inside core.Router is an atomic add (and a ring store when
+// tracing). A nil *RouterObs means observability is disabled; callers
+// guard with a single nil check.
+type RouterObs struct {
+	o  *Observer
+	id int32
+
+	rcComputes, rcDup              []*Counter // per input port
+	vaAllocs, vaBorrows, vaStalls  []*Counter // per input port
+	saGrants, saBypass, saTransfer []*Counter // per input port
+	vaRetries                      []*Counter // per output port
+	flitsRouted, xbSecondary       []*Counter // per output port
+}
+
+// BindRouter resolves the per-port counter handles for router id. It
+// returns nil when o is nil, so core.New can bind unconditionally.
+func BindRouter(o *Observer, id, ports int) *RouterObs {
+	if o == nil {
+		return nil
+	}
+	r := &RouterObs{o: o, id: int32(id)}
+	bind := func(k Kind) []*Counter {
+		cs := make([]*Counter, ports)
+		for p := range cs {
+			cs[p] = o.counter(Key{Kind: k, Router: int32(id), Port: int8(p), VC: NoVC})
+		}
+		return cs
+	}
+	r.rcComputes = bind(KRCComputes)
+	r.rcDup = bind(KRCDuplicateUses)
+	r.vaAllocs = bind(KVAAllocs)
+	r.vaBorrows = bind(KVA1Borrows)
+	r.vaStalls = bind(KVA1BorrowStalls)
+	r.vaRetries = bind(KVA2Retries)
+	r.saGrants = bind(KSAGrants)
+	r.saBypass = bind(KSABypassGrants)
+	r.saTransfer = bind(KSATransfers)
+	r.flitsRouted = bind(KFlitsRouted)
+	r.xbSecondary = bind(KXBSecondary)
+	return r
+}
+
+// RCCompute records a completed routing computation for input VC
+// (port, vcIdx) toward out; dup marks service by the duplicate unit.
+func (r *RouterObs) RCCompute(cy sim.Cycle, port, vcIdx, out int, dup bool) {
+	inc(r.rcComputes[port])
+	kind := EvRCCompute
+	if dup {
+		inc(r.rcDup[port])
+		kind = EvRCDuplicate
+	}
+	r.o.emit(Event{Cycle: cy, Kind: kind, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out)})
+}
+
+// VAAlloc records input VC (port, vcIdx) winning downstream VC dvc at
+// output port out.
+func (r *RouterObs) VAAlloc(cy sim.Cycle, port, vcIdx, out, dvc int) {
+	inc(r.vaAllocs[port])
+	r.o.emit(Event{Cycle: cy, Kind: EvVAAlloc, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out), Arg2: int32(dvc)})
+}
+
+// VABorrow records (port, vcIdx) borrowing the stage-1 arbiters of
+// sibling VC lender.
+func (r *RouterObs) VABorrow(cy sim.Cycle, port, vcIdx, lender int) {
+	inc(r.vaBorrows[port])
+	r.o.emit(Event{Cycle: cy, Kind: EvVABorrow, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(lender)})
+}
+
+// VABorrowStall records (port, vcIdx) waiting a cycle for a lender.
+func (r *RouterObs) VABorrowStall(cy sim.Cycle, port, vcIdx int) {
+	inc(r.vaStalls[port])
+	r.o.emit(Event{Cycle: cy, Kind: EvVABorrowStall, Router: r.id, Port: int8(port), VC: int8(vcIdx)})
+}
+
+// VARetry records losers requesters of downstream VC (out, dvc) losing
+// their attempt to a faulty stage-2 arbiter.
+func (r *RouterObs) VARetry(cy sim.Cycle, out, dvc, losers int) {
+	if c := r.vaRetries[out]; c != nil {
+		c.Add(uint64(losers))
+	}
+	r.o.emit(Event{Cycle: cy, Kind: EvVARetry, Router: r.id, Port: int8(out), VC: int8(dvc), Arg: int32(losers)})
+}
+
+// SAGrant records input VC (port, vcIdx) winning switch allocation
+// toward out; bypass marks a stage-1 grant issued by the bypass path.
+func (r *RouterObs) SAGrant(cy sim.Cycle, port, vcIdx, out int, bypass bool) {
+	inc(r.saGrants[port])
+	kind := EvSAGrant
+	if bypass {
+		kind = EvSABypass
+	}
+	r.o.emit(Event{Cycle: cy, Kind: kind, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out)})
+}
+
+// SABypassGrant records a stage-1 grant issued by the bypass default
+// winner at port (counted even when stage 2 later denies the port).
+func (r *RouterObs) SABypassGrant(port int) { inc(r.saBypass[port]) }
+
+// SATransfer records input port adopting sibling VC adopted as the
+// bypass default winner dst.
+func (r *RouterObs) SATransfer(cy sim.Cycle, port, dst, adopted int) {
+	inc(r.saTransfer[port])
+	r.o.emit(Event{Cycle: cy, Kind: EvSATransfer, Router: r.id, Port: int8(port), VC: NoVC, Arg: int32(dst), Arg2: int32(adopted)})
+}
+
+// XBTraverse records a flit from (port, vcIdx) crossing to output out;
+// secondary marks the protected crossbar's detour path.
+func (r *RouterObs) XBTraverse(cy sim.Cycle, port, vcIdx, out int, secondary bool) {
+	inc(r.flitsRouted[out])
+	kind := EvXBTraverse
+	if secondary {
+		inc(r.xbSecondary[out])
+		kind = EvXBSecondary
+	}
+	r.o.emit(Event{Cycle: cy, Kind: kind, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out)})
+}
+
+// NodeObs is the pre-bound handle for a node's network-side activity:
+// link utilization per output port and NI injection/ejection. Held by
+// noc.Network and noc.NI; nil when observability is disabled.
+type NodeObs struct {
+	o  *Observer
+	id int32
+
+	linkFlits []*Counter // per output port
+	niSent    *Counter
+	niOffered *Counter
+	niEjected *Counter
+	niQueue   *Gauge
+}
+
+// BindNode resolves node id's link and NI handles. It returns nil when
+// o is nil.
+func BindNode(o *Observer, id, ports int) *NodeObs {
+	if o == nil {
+		return nil
+	}
+	n := &NodeObs{o: o, id: int32(id)}
+	n.linkFlits = make([]*Counter, ports)
+	for p := range n.linkFlits {
+		n.linkFlits[p] = o.counter(Key{Kind: KLinkFlits, Router: int32(id), Port: int8(p), VC: NoVC})
+	}
+	n.niSent = o.counter(Key{Kind: KNIFlitsSent, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niOffered = o.counter(Key{Kind: KNIPacketsOffered, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niEjected = o.counter(Key{Kind: KNIPacketsEjected, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niQueue = o.gauge(Key{Kind: KNIQueueDepth, Router: int32(id), Port: NoPort, VC: NoVC})
+	return n
+}
+
+// LinkFlit records one flit carried by the node's output link out.
+func (n *NodeObs) LinkFlit(out int) { inc(n.linkFlits[out]) }
+
+// NIFlitSent records the NI streaming one flit into the router.
+func (n *NodeObs) NIFlitSent() { inc(n.niSent) }
+
+// NIOffer records a packet for node dst entering the injection queue.
+func (n *NodeObs) NIOffer(cy sim.Cycle, dst int) {
+	inc(n.niOffered)
+	n.o.emit(Event{Cycle: cy, Kind: EvNIOffer, Router: n.id, Port: NoPort, VC: NoVC, Arg: int32(dst)})
+}
+
+// NIEject records a packet delivered at this node with the given
+// creation-to-ejection latency.
+func (n *NodeObs) NIEject(cy sim.Cycle, latency sim.Cycle) {
+	inc(n.niEjected)
+	n.o.emit(Event{Cycle: cy, Kind: EvNIEject, Router: n.id, Port: NoPort, VC: NoVC, Arg: int32(latency)})
+}
+
+// NIQueueDepth updates the NI's waiting-packet gauge.
+func (n *NodeObs) NIQueueDepth(depth int) {
+	if n.niQueue != nil {
+		n.niQueue.Set(int64(depth))
+	}
+}

@@ -8,7 +8,11 @@
 // internal/core.
 package router
 
-import "fmt"
+import (
+	"fmt"
+
+	"gonoc/internal/obs"
+)
 
 // Config describes a router instance. The paper's evaluation point is the
 // default: a 5-port router with 4 VCs of depth 4 per input port.
@@ -31,6 +35,11 @@ type Config struct {
 	// winner serves before rotating (Section V-C1's anti-starvation
 	// rotation). Values < 1 default to 16.
 	BypassRotatePeriod int
+	// Obs enables the observability layer (internal/obs): routers bind
+	// per-component counter handles and emit trace events to it. Leave
+	// nil — the default — for a metrics-free simulation; the
+	// instrumented paths then cost a single pointer test per site.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper's 5×5, 4-VC, depth-4 configuration.

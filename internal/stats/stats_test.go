@@ -128,3 +128,90 @@ func TestEmptyCollector(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+// TestAllPacketsInWarmup covers the zero-measured-packets case with
+// nonzero traffic: everything was created before Warmup, so every
+// latency statistic must return its zero value rather than an
+// uninitialized extreme.
+func TestAllPacketsInWarmup(t *testing.T) {
+	c := NewCollector(1000)
+	for i := sim.Cycle(0); i < 5; i++ {
+		p := mkPkt(i, i+40, flit.Request, 3)
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	if c.Created() != 5 || c.Ejected() != 5 {
+		t.Fatalf("created/ejected = %d/%d", c.Created(), c.Ejected())
+	}
+	if c.Measured() != 0 {
+		t.Fatalf("Measured = %d, want 0", c.Measured())
+	}
+	if c.AvgLatency() != 0 || c.AvgNetworkLatency() != 0 {
+		t.Errorf("avg latencies = %v/%v, want 0", c.AvgLatency(), c.AvgNetworkLatency())
+	}
+	// MinLatency must not leak the MaxUint64 initializer.
+	if c.MinLatency() != 0 || c.MaxLatency() != 0 {
+		t.Errorf("min/max = %d/%d, want 0/0", c.MinLatency(), c.MaxLatency())
+	}
+	if c.Percentile(50) != 0 || c.Percentile(99) != 0 {
+		t.Errorf("percentiles nonzero with no measured packets")
+	}
+	if c.ClassAvgLatency(flit.Request) != 0 {
+		t.Errorf("class avg nonzero with no measured packets")
+	}
+}
+
+// TestSingleSamplePercentile checks every percentile collapses to the
+// lone sample (the index arithmetic must not under- or overflow).
+func TestSingleSamplePercentile(t *testing.T) {
+	c := NewCollector(0)
+	p := mkPkt(0, 37, flit.Request, 1)
+	c.RecordCreation(p)
+	c.RecordEjection(p)
+	for _, q := range []float64{0.1, 1, 50, 99, 100} {
+		if got := c.Percentile(q); got != 37 {
+			t.Errorf("Percentile(%v) = %v, want 37", q, got)
+		}
+	}
+	if c.MinLatency() != 37 || c.MaxLatency() != 37 {
+		t.Errorf("min/max = %d/%d, want 37/37", c.MinLatency(), c.MaxLatency())
+	}
+}
+
+// TestMinMaxInitialization checks the extremes track a single descending
+// then ascending sequence correctly from their initial values.
+func TestMinMaxInitialization(t *testing.T) {
+	c := NewCollector(0)
+	record := func(lat sim.Cycle) {
+		p := mkPkt(0, lat, flit.Request, 1)
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	record(50)
+	if c.MinLatency() != 50 || c.MaxLatency() != 50 {
+		t.Fatalf("after first sample min/max = %d/%d, want 50/50", c.MinLatency(), c.MaxLatency())
+	}
+	record(10) // new minimum
+	record(90) // new maximum
+	if c.MinLatency() != 10 || c.MaxLatency() != 90 {
+		t.Errorf("min/max = %d/%d, want 10/90", c.MinLatency(), c.MaxLatency())
+	}
+}
+
+// TestZeroLatencyPacket: a packet ejected the cycle it was created must
+// count as a legitimate 0-cycle minimum, not be confused with "no data".
+func TestZeroLatencyPacket(t *testing.T) {
+	c := NewCollector(0)
+	fast := mkPkt(5, 5, flit.Request, 1)
+	slow := mkPkt(5, 25, flit.Request, 1)
+	for _, p := range []*flit.Packet{fast, slow} {
+		c.RecordCreation(p)
+		c.RecordEjection(p)
+	}
+	if c.MinLatency() != 0 || c.MaxLatency() != 20 {
+		t.Errorf("min/max = %d/%d, want 0/20", c.MinLatency(), c.MaxLatency())
+	}
+	if c.AvgLatency() != 10 {
+		t.Errorf("avg = %v, want 10", c.AvgLatency())
+	}
+}

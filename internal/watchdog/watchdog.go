@@ -26,6 +26,7 @@ import (
 
 	"gonoc/internal/core"
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 	"gonoc/internal/topology"
 	"gonoc/internal/vc"
@@ -76,11 +77,12 @@ type Monitor struct {
 
 	state    map[vcKey]*vcState
 	suspects []Suspect
+	obs      *obs.Observer
 }
 
 // New attaches a monitor with the given stall threshold to net.
 func New(net *noc.Network, threshold sim.Cycle) *Monitor {
-	m := &Monitor{net: net, Threshold: threshold, state: map[vcKey]*vcState{}}
+	m := &Monitor{net: net, Threshold: threshold, state: map[vcKey]*vcState{}, obs: net.Obs()}
 	net.AddHook(m.hook)
 	return m
 }
@@ -114,14 +116,17 @@ func (m *Monitor) hook(c sim.Cycle) {
 					continue
 				}
 				st.reported = true
+				stage := localize(q.G)
 				m.suspects = append(m.suspects, Suspect{
 					Router:   node,
 					Port:     port,
 					VC:       v,
-					Stage:    localize(q.G),
+					Stage:    stage,
 					Since:    st.lastMove,
 					Detected: c,
 				})
+				m.obs.RecordFault(obs.KFaultsDetected, obs.EvFaultDetect,
+					c, node, p, v, int32(stage), "")
 			}
 		}
 	}
