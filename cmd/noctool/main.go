@@ -117,7 +117,12 @@ global flags (before the command):
 
 sim, metrics and trace accept -inject with comma-separated fault specs
 <router>:<kind>:<port>[:<vc>], e.g. -inject 5:sa1:e,0:va1:n:2; kinds are
-rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports l,n,e,s,w.`)
+rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports l,n,e,s,w.
+
+sim, metrics, trace and campaign accept -workers to bound parallelism:
+for the simulation commands it shards each cycle's compute phase across
+that many goroutines (0 = all cores, 1 = serial) with bit-identical
+results; for campaign it runs the designs concurrently.`)
 }
 
 func runSPF(args []string) error {
@@ -138,11 +143,12 @@ func runCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "designs campaigned in parallel (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Printf("Monte-Carlo faults-to-failure (%d trials)\n", *trials)
-	for _, r := range experiments.CampaignTable(*trials, *seed) {
+	for _, r := range experiments.CampaignTable(*trials, *seed, *workers) {
 		fmt.Printf("  %-16s mean %5.2f  min %2d  max %2d\n", r.Design, r.Mean, r.Min, r.Max)
 	}
 	return nil
@@ -182,6 +188,7 @@ type simFlags struct {
 	faultMean     *uint64
 	baseline      *bool
 	inject        *string
+	workers       *int
 }
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
@@ -197,6 +204,8 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 		baseline:  fs.Bool("baseline", false, "use the unprotected baseline router"),
 		inject: fs.String("inject", "", "comma-separated fault specs "+
 			"<router>:<kind>:<port>[:<vc>] applied at cycle 0 (see noctool help)"),
+		workers: fs.Int("workers", 0,
+			"worker goroutines sharding each cycle's compute phase (0 = all cores, 1 = serial; results are identical)"),
 	}
 }
 
@@ -228,6 +237,7 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 	src := traffic.NewSynthetic(mesh.Nodes(), *sf.rate, dest, traffic.Bimodal(1, 5, 0.6), *sf.seed)
 	n, err := noc.New(noc.Config{
 		Width: *sf.width, Height: *sf.height, Router: rc, Warmup: sim.Cycle(*sf.warmup),
+		Workers: *sf.workers,
 	}, src)
 	if err != nil {
 		return nil, err
@@ -261,6 +271,7 @@ func runSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer n.Close()
 	n.Run(sim.Cycle(*sf.cycles))
 	st := n.Stats()
 	mesh := n.Mesh()
@@ -293,6 +304,7 @@ func runMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer n.Close()
 	n.Run(sim.Cycle(*sf.cycles))
 	st := n.Stats()
 	fmt.Print(obs.FormatPerRouter(o.Metrics, uint64(n.Now())))
@@ -322,6 +334,7 @@ func runTrace(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer n.Close()
 	// Trace only the measured window: warmup cycles run untraced.
 	warm := sim.Cycle(*sf.warmup)
 	total := sim.Cycle(*sf.cycles)
@@ -376,6 +389,7 @@ func runRecord(args []string) error {
 	src := workloads.NewCoherence(prof, mesh, *seed)
 	rec := tracefile.NewRecorder(src)
 	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, rec)
+	defer n.Close()
 	n.Run(sim.Cycle(*cycles))
 	f, err := os.Create(*out)
 	if err != nil {
@@ -411,6 +425,7 @@ func runReplay(args []string) error {
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
 	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, traffic.NewTrace(entries))
+	defer n.Close()
 	if *faultMean > 0 {
 		fault.NewInjector(n, sim.Cycle(*faultMean), *seed, true)
 	}

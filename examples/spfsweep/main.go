@@ -25,7 +25,7 @@ func main() {
 
 	const trials = 10_000
 	fmt.Printf("Monte-Carlo faults-to-failure (%d trials per design)\n", trials)
-	for _, r := range experiments.CampaignTable(trials, 1) {
+	for _, r := range experiments.CampaignTable(trials, 1, 0) {
 		fmt.Printf("  %-16s mean %5.2f  range [%d, %d]\n", r.Design, r.Mean, r.Min, r.Max)
 	}
 	fmt.Println()

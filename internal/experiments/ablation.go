@@ -63,6 +63,7 @@ func AblationRotatePeriod(periods []int, cycles sim.Cycle, seed uint64) []Ablati
 			AvgLatency: n.Stats().AvgLatency(),
 			Delivered:  n.Stats().Ejected(),
 		}
+		n.Close()
 	}
 	return out
 }
@@ -83,6 +84,7 @@ func AblationVCCount(vcs []int, cycles sim.Cycle, seed uint64) []AblationPoint {
 			AvgLatency: n.Stats().AvgLatency(),
 			Delivered:  n.Stats().Ejected(),
 		}
+		n.Close()
 	}
 	return out
 }
@@ -107,6 +109,7 @@ func AblationSecondaryPath(cycles sim.Cycle, seed uint64) SecondaryPathAblation 
 		rc.FaultTolerant = ft
 		src := traffic.NewSynthetic(16, 0.02, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), seed)
 		n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: rc, Warmup: cycles / 10}, src)
+		defer n.Close()
 		for id := 0; id < 16; id++ {
 			n.Router(id).SetXBFault(topology.East, true)
 		}
@@ -167,6 +170,7 @@ func DegradationCurve(faultCounts []int, cycles sim.Cycle, seed uint64) []Degrad
 			AvgLatency: st.AvgLatency(),
 			Throughput: st.ThroughputFlits(n.Now()) / 16,
 		}
+		n.Close()
 	}
 	return out
 }

@@ -35,6 +35,10 @@ type LatencyConfig struct {
 	Seed uint64
 	// Workers bounds parallelism across applications (0 = all cores).
 	Workers int
+	// StepWorkers shards each network's compute phase (noc.Config.Workers:
+	// 0 = all cores, 1 = serial). Results are identical at any value; with
+	// Workers already saturating the cores, 1 avoids oversubscription.
+	StepWorkers int
 }
 
 // DefaultLatencyConfig returns the scaled-down Figure 7/8 configuration.
@@ -45,6 +49,9 @@ func DefaultLatencyConfig() LatencyConfig {
 		Measure:   25000,
 		FaultMean: 20000,
 		Seed:      2014, // the paper's year; any seed works
+		// The suite already runs one app per core; serial stepping inside
+		// each network avoids oversubscription.
+		StepWorkers: 1,
 	}
 }
 
@@ -82,7 +89,9 @@ func RunApp(app workloads.App, cfg LatencyConfig) LatencyPoint {
 		tr := workloads.NewCoherence(app, mesh, cfg.Seed)
 		n := noc.MustNew(noc.Config{
 			Width: cfg.Width, Height: cfg.Height, Router: rc, Warmup: cfg.Warmup,
+			Workers: cfg.StepWorkers,
 		}, tr)
+		defer n.Close()
 		var inj *fault.Injector
 		if faulty {
 			inj = fault.NewInjector(n, cfg.FaultMean, cfg.Seed^0x9e3779b9, true)

@@ -10,6 +10,7 @@ import (
 	"gonoc/internal/ftrouters"
 	"gonoc/internal/reliability"
 	"gonoc/internal/router"
+	"gonoc/internal/sweep"
 )
 
 // ReliabilityReport bundles the Section VII results: Tables I and II and
@@ -92,22 +93,31 @@ func SPFVCSweep(vcs []int) []reliability.SPFResult {
 
 // CampaignTable runs the Monte-Carlo faults-to-failure campaigns of all
 // four designs (the simulation counterpart of Table III's fault counts).
-func CampaignTable(trials int, seed uint64) []ftrouters.CampaignResult {
-	cfg := router.DefaultConfig()
-	cfg.FaultTolerant = true
-	proposed := fault.FaultsToFailure(cfg, trials, seed, fault.UniversePaper)
-	return []ftrouters.CampaignResult{
-		ftrouters.FaultsToFailure(ftrouters.NewBulletProof(), trials, seed),
-		ftrouters.FaultsToFailure(ftrouters.NewVicis(), trials, seed),
-		ftrouters.FaultsToFailure(ftrouters.NewRoCo(), trials, seed),
-		{
-			Design: "Proposed Router",
-			Trials: proposed.Trials,
-			Mean:   proposed.Mean,
-			Min:    proposed.Min,
-			Max:    proposed.Max,
-		},
-	}
+// The designs are independent seeded campaigns, so they run on up to
+// workers goroutines (0 = all cores) with identical results at any
+// worker count.
+func CampaignTable(trials int, seed uint64, workers int) []ftrouters.CampaignResult {
+	return sweep.Run(4, workers, func(i int) ftrouters.CampaignResult {
+		switch i {
+		case 0:
+			return ftrouters.FaultsToFailure(ftrouters.NewBulletProof(), trials, seed)
+		case 1:
+			return ftrouters.FaultsToFailure(ftrouters.NewVicis(), trials, seed)
+		case 2:
+			return ftrouters.FaultsToFailure(ftrouters.NewRoCo(), trials, seed)
+		default:
+			cfg := router.DefaultConfig()
+			cfg.FaultTolerant = true
+			proposed := fault.FaultsToFailure(cfg, trials, seed, fault.UniversePaper)
+			return ftrouters.CampaignResult{
+				Design: "Proposed Router",
+				Trials: proposed.Trials,
+				Mean:   proposed.Mean,
+				Min:    proposed.Min,
+				Max:    proposed.Max,
+			}
+		}
+	})
 }
 
 // FormatReliability renders Tables I/II and the MTTF analysis as text.

@@ -1,0 +1,47 @@
+package fault
+
+import "testing"
+
+// FuzzParseInjection checks the round-trip property of the injection
+// spec grammar: any spec ParseInjection accepts must re-render through
+// FormatInjection into a spec that parses back to the identical router
+// and site. Invalid specs only need to be rejected without panicking.
+func FuzzParseInjection(f *testing.F) {
+	for _, seed := range []string{
+		"5:sa1:e",
+		"0:va1:n:2",
+		"12:xb:w",
+		"3:rcdup:l",
+		"7:va2:0:1",
+		"9:sa2:7",
+		"1:xbsec:s",
+		"2:sa1byp:4",
+		"8:RC:E", // mnemonics are case-insensitive
+		"bogus",
+		"1:2:3:4:5",
+		"-1:rc:l",
+		"5:rc:e:1",
+		"::",
+		"5:va1:e", // per-VC kind missing its index
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		router, site, err := ParseInjection(spec)
+		if err != nil {
+			return
+		}
+		out, err := FormatInjection(router, site)
+		if err != nil {
+			t.Fatalf("parsed %q to (%d, %+v) but cannot format it back: %v", spec, router, site, err)
+		}
+		router2, site2, err := ParseInjection(out)
+		if err != nil {
+			t.Fatalf("formatted %q -> %q which does not re-parse: %v", spec, out, err)
+		}
+		if router2 != router || site2 != site {
+			t.Fatalf("round trip %q -> (%d, %+v) -> %q -> (%d, %+v)",
+				spec, router, site, out, router2, site2)
+		}
+	})
+}

@@ -89,6 +89,47 @@ func ParseInjection(spec string) (router int, site Site, err error) {
 	return router, site, nil
 }
 
+// FormatInjection renders a router id and fault site as an injection
+// spec that ParseInjection accepts, the inverse of ParseInjection:
+// FormatInjection(ParseInjection(s)) parses back to the same router and
+// site. Ports 0-4 render as their compass letters, larger port ids as
+// numbers; the VC index is appended exactly for the per-VC kinds.
+func FormatInjection(router int, site Site) (string, error) {
+	if router < 0 {
+		return "", fmt.Errorf("fault: format: bad router id %d", router)
+	}
+	var kind string
+	for name, k := range kindNames {
+		if k == site.Kind {
+			kind = name
+			break
+		}
+	}
+	if kind == "" {
+		return "", fmt.Errorf("fault: format: unknown kind %v", site.Kind)
+	}
+	if site.Port < 0 {
+		return "", fmt.Errorf("fault: format: bad port %d", int(site.Port))
+	}
+	port := strconv.Itoa(int(site.Port))
+	for name, p := range portNames {
+		if p == site.Port {
+			port = name
+			break
+		}
+	}
+	if perVC(site.Kind) {
+		if site.Index < 0 {
+			return "", fmt.Errorf("fault: format: bad VC index %d", site.Index)
+		}
+		return fmt.Sprintf("%d:%s:%s:%d", router, kind, port, site.Index), nil
+	}
+	if site.Index != 0 {
+		return "", fmt.Errorf("fault: format: kind %q takes no VC index, got %d", kind, site.Index)
+	}
+	return fmt.Sprintf("%d:%s:%s", router, kind, port), nil
+}
+
 // ParseInjections parses a comma-separated list of injection specs.
 func ParseInjections(list string) (routers []int, sites []Site, err error) {
 	if strings.TrimSpace(list) == "" {

@@ -1,0 +1,80 @@
+package noc_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gonoc/internal/fault"
+	"gonoc/internal/noc"
+	"gonoc/internal/rng"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/traffic"
+)
+
+// FuzzNetworkInvariants drives a fault-tolerant mesh under a fuzzed
+// combination of traffic seed, injection rate, worker count and random
+// safe-only fault placement, and checks the credit-conservation
+// invariant (CheckInvariants) at every boundary plus full delivery after
+// drain. Faults that would kill a router are rolled back — the network
+// stays functional by construction, so every offered packet must arrive
+// no matter which sites are broken or how the step is sharded.
+func FuzzNetworkInvariants(f *testing.F) {
+	f.Add([]byte("determinism"))
+	f.Add([]byte{0})
+	f.Add([]byte{0xff, 0x3c, 0x81, 0x02, 0x40, 0x09, 0x21, 0x5a, 0x03, 0x0b, 0x04})
+	f.Add([]byte("parallel-step-faults"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		b := func(i int) byte { return data[i%len(data)] }
+		var seedBytes [8]byte
+		for i := range seedBytes {
+			seedBytes[i] = b(i)
+		}
+		seed := binary.LittleEndian.Uint64(seedBytes[:])
+		workers := 1 + int(b(8))%4
+		nFaults := int(b(9)) % 12
+		rate := 0.01 + float64(b(10)%8)*0.01
+
+		const cycles = 600
+		rc := router.DefaultConfig()
+		rc.FaultTolerant = true
+		src := traffic.NewSynthetic(16, rate, traffic.Uniform(16), traffic.Bimodal(1, 4, 0.5), seed)
+		src.StopAt(cycles)
+		n, err := noc.New(noc.Config{Width: 4, Height: 4, Router: rc, Workers: workers}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+
+		sites := fault.SitesIn(rc, fault.UniverseAll)
+		r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+		for i := 0; i < nFaults; i++ {
+			rt := n.Router(r.Intn(16))
+			s := sites[r.Intn(len(sites))]
+			fault.Apply(rt, s, true)
+			if !rt.Functional() {
+				fault.Apply(rt, s, false) // keep the network deliverable
+			}
+		}
+
+		for c := 0; c < cycles; c += 50 {
+			n.Run(50)
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d (workers=%d, faults=%d): %v", c+50, workers, nFaults, err)
+			}
+		}
+		if !n.Drain(sim.Cycle(cycles + 20000)) {
+			t.Fatalf("workers=%d faults=%d rate=%.2f: did not drain, %d in flight",
+				workers, nFaults, rate, n.Stats().InFlight())
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+		if got, want := n.Stats().Ejected(), n.Stats().Created(); got != want {
+			t.Fatalf("delivered %d of %d packets", got, want)
+		}
+	})
+}

@@ -38,14 +38,14 @@ func (n *Network) CheckInvariants() error {
 				credits := n.creditCount(id, port, v)
 				occ := n.routers[nb].InputVC(in, v).Len()
 				wireFlits := 0
-				for _, w := range n.flitWires {
-					if w.dst == nb && w.in == in && w.vc == v {
+				for _, w := range n.inFlits[nb] {
+					if w.In == in && w.VC == v {
 						wireFlits++
 					}
 				}
 				wireCredits := 0
-				for _, w := range n.creditWires {
-					if w.dst == id && w.c.Out == port && w.c.VC == v {
+				for _, w := range n.inCredits[id] {
+					if w.Out == port && w.VC == v {
 						wireCredits++
 					}
 				}

@@ -6,10 +6,25 @@
 // routers have the 4-stage pipeline of Figure 2, inter-router links take
 // one cycle in each direction (flits downstream, credits upstream), and
 // each node's NI injects at most one flit per cycle.
+//
+// # Parallel stepping
+//
+// Step is an explicit two-phase tick. The compute phase advances every
+// node — delivering the node's latched link traffic, ticking its NI and
+// its router — reading only last-cycle state, so nodes are mutually
+// independent and the phase shards over a persistent worker pool
+// (Config.Workers). The commit phase then applies all cross-node effects
+// — link transfers, credit returns, ejections, statistics — serially in
+// canonical node order. Results are therefore bit-exact identical for
+// any worker count: the same flit arrival cycles, the same statistics,
+// and the same observability event multiset (see obs.SortEvents for the
+// canonical event order used when comparing traces).
 package noc
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"gonoc/internal/core"
 	"gonoc/internal/flit"
@@ -42,6 +57,12 @@ type Config struct {
 	Router router.Config
 	// Warmup is the statistics warmup window in cycles.
 	Warmup sim.Cycle
+	// Workers is the number of goroutines Step's compute phase is
+	// sharded over: 0 selects runtime.GOMAXPROCS(0), 1 is the serial
+	// path, and any value is clamped to the node count. Every worker
+	// count produces bit-exact identical simulations; negative values
+	// are rejected by New.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation configuration: an 8×8 mesh
@@ -50,24 +71,6 @@ func DefaultConfig() Config {
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
 	return Config{Width: 8, Height: 8, Router: rc, Warmup: 1000}
-}
-
-// payload is an in-flight link transfer, delivered next cycle.
-type flitWire struct {
-	dst int // destination router
-	in  topology.Port
-	vc  int
-	f   *flit.Flit
-}
-
-type creditWire struct {
-	dst int // destination router (upstream)
-	c   core.CreditIn
-}
-
-type niCreditWire struct {
-	dst int // destination NI node
-	c   router.Credit
 }
 
 // Network is a complete W×H mesh NoC.
@@ -92,10 +95,34 @@ type Network struct {
 	// when cfg.Router.Obs is nil (the default).
 	obsNodes []*obs.NodeObs
 
-	// link latches: generated this cycle, delivered next cycle.
-	flitWires     []flitWire
-	creditWires   []creditWire
-	niCreditWires []niCreditWire
+	// Link latches, indexed by destination node: filled by the commit
+	// phase in canonical node order, drained by the next cycle's compute
+	// phase. Each bucket is touched by exactly one compute worker.
+	inFlits     [][]router.InFlit
+	inCredits   [][]core.CreditIn
+	inNICredits [][]router.Credit
+
+	// Staged per-node outputs of the compute phase, consumed by the
+	// commit phase in node order.
+	stagedFlits   [][]router.OutFlit
+	stagedCredits [][]router.Credit
+
+	// workers is the resolved compute-phase shard count (>= 1); pool is
+	// the persistent worker pool, started lazily on the first parallel
+	// Step and released by Close.
+	workers int
+	pool    *stepPool
+}
+
+// stepPool is the persistent compute-phase worker pool: one goroutine
+// per shard, parked on a per-worker channel between cycles. Channel
+// send/receive orders each worker's reads after the commit phase's
+// writes, and wg.Wait orders the commit phase after every worker's
+// writes, so the two phases never race.
+type stepPool struct {
+	start []chan sim.Cycle
+	wg    sync.WaitGroup
+	once  sync.Once
 }
 
 // New builds a network. All routers share cfg.Router; traffic may be nil
@@ -104,17 +131,33 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 	if cfg.Width < 2 || cfg.Height < 1 {
 		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("noc: invalid Workers %d: want 0 (all cores), 1 (serial) or a positive shard count", cfg.Workers)
+	}
 	mesh := topology.NewMesh(cfg.Width, cfg.Height)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > mesh.Nodes() {
+		workers = mesh.Nodes()
+	}
 	n := &Network{
 		cfg:     cfg,
 		mesh:    mesh,
 		traffic: traffic,
 		stats:   stats.NewCollector(cfg.Warmup),
+		workers: workers,
 	}
 	n.routers = make([]*core.Router, mesh.Nodes())
 	n.nis = make([]*NI, mesh.Nodes())
 	n.linkFlits = make([][]uint64, mesh.Nodes())
 	n.obsNodes = make([]*obs.NodeObs, mesh.Nodes())
+	n.inFlits = make([][]router.InFlit, mesh.Nodes())
+	n.inCredits = make([][]core.CreditIn, mesh.Nodes())
+	n.inNICredits = make([][]router.Credit, mesh.Nodes())
+	n.stagedFlits = make([][]router.OutFlit, mesh.Nodes())
+	n.stagedCredits = make([][]router.Credit, mesh.Nodes())
 	for i := range n.linkFlits {
 		n.linkFlits[i] = make([]uint64, cfg.Router.Ports)
 	}
@@ -191,30 +234,30 @@ func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 // and trace-driven runs). Class and Size must be set; Src is overwritten.
 func (n *Network) Inject(src int, p *flit.Packet) { n.offer(src, p, n.cycle) }
 
-// Step advances the network one cycle.
+// Workers returns the resolved compute-phase shard count (>= 1).
+func (n *Network) Workers() int { return n.workers }
+
+// Step advances the network one cycle as an explicit two-phase tick:
+//
+//  1. Serial pre-phase: cycle hooks (fault injection, probes) and
+//     traffic generation, both of which touch shared state (router
+//     fault bits, packet IDs, the stats collector) in node order.
+//  2. Compute phase: every node delivers its latched link traffic,
+//     ticks its NI and ticks its router, reading only last-cycle
+//     state. Nodes are independent, so the phase shards over the
+//     worker pool when Workers > 1.
+//  3. Commit phase: staged router outputs are applied serially in
+//     canonical node order — link flit counters, ejections (stats and
+//     closed-loop traffic replies) and next cycle's per-node latches.
+//
+// Because the commit order is fixed and the compute phase is node-local,
+// the simulation is bit-exact identical for every worker count.
 func (n *Network) Step() {
 	c := n.cycle
 
-	// 0. Cycle hooks (fault injection etc.).
 	for _, h := range n.hooks {
 		h(c)
 	}
-
-	// 1. Deliver last cycle's link traffic.
-	for _, w := range n.flitWires {
-		n.routers[w.dst].AcceptFlit(router.InFlit{In: w.in, VC: w.vc, F: w.f})
-	}
-	n.flitWires = n.flitWires[:0]
-	for _, w := range n.creditWires {
-		n.routers[w.dst].AcceptCredit(w.c)
-	}
-	n.creditWires = n.creditWires[:0]
-	for _, w := range n.niCreditWires {
-		n.nis[w.dst].acceptCredit(w.c)
-	}
-	n.niCreditWires = n.niCreditWires[:0]
-
-	// 2. Traffic generation and NI injection.
 	if n.traffic != nil {
 		for node := range n.nis {
 			for _, p := range n.traffic.Offered(node, c) {
@@ -222,19 +265,61 @@ func (n *Network) Step() {
 			}
 		}
 	}
-	for _, ni := range n.nis {
-		ni.tick(c)
+
+	if n.workers == 1 {
+		for id := range n.routers {
+			n.computeNode(id, c)
+		}
+	} else {
+		if n.pool == nil {
+			n.startPool()
+		}
+		n.pool.wg.Add(len(n.pool.start))
+		for _, ch := range n.pool.start {
+			ch <- c
+		}
+		n.pool.wg.Wait()
 	}
 
-	// 3. Routers compute.
-	for _, r := range n.routers {
-		r.Tick(c)
-	}
+	n.commit(c)
+	n.cycle++
+}
 
-	// 4. Collect outputs onto the wires (delivered next cycle), except
-	// local ejection, which the NI consumes this cycle.
-	for id, r := range n.routers {
-		for _, of := range r.TakeOutFlits() {
+// computeNode advances node id through cycle c: deliver last cycle's
+// latched flits and credits, tick the NI (which streams at most one flit
+// into the router's local port) and tick the router. Everything touched
+// here is either owned by node id or safe for concurrent use (obs
+// counters are atomic, the tracer is locked), so computeNode runs
+// concurrently for distinct nodes.
+func (n *Network) computeNode(id int, c sim.Cycle) {
+	r := n.routers[id]
+	for _, w := range n.inFlits[id] {
+		r.AcceptFlit(w)
+	}
+	n.inFlits[id] = n.inFlits[id][:0]
+	for _, cr := range n.inCredits[id] {
+		r.AcceptCredit(cr)
+	}
+	n.inCredits[id] = n.inCredits[id][:0]
+	for _, cr := range n.inNICredits[id] {
+		n.nis[id].acceptCredit(cr)
+	}
+	n.inNICredits[id] = n.inNICredits[id][:0]
+
+	n.nis[id].tick(c)
+	r.Tick(c)
+
+	n.stagedFlits[id] = r.TakeOutFlits()
+	n.stagedCredits[id] = r.TakeOutCredits()
+}
+
+// commit applies the compute phase's staged outputs in node order:
+// counts link flits, consumes local ejections this cycle (statistics,
+// closed-loop traffic replies) and latches everything crossing a link
+// into the destination node's inbound buckets for delivery next cycle.
+func (n *Network) commit(c sim.Cycle) {
+	for id := range n.routers {
+		for _, of := range n.stagedFlits[id] {
 			n.linkFlits[id][of.Out]++
 			if on := n.obsNodes[id]; on != nil {
 				on.LinkFlit(int(of.Out))
@@ -242,37 +327,75 @@ func (n *Network) Step() {
 			if of.Out == localPort {
 				n.nis[id].consume(of.F, c)
 				// Ejection credit back to this router's local output.
-				n.creditWires = append(n.creditWires, creditWire{
-					dst: id,
-					c:   core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()},
-				})
+				n.inCredits[id] = append(n.inCredits[id],
+					core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
 				continue
 			}
 			nb, ok := n.mesh.Neighbor(id, of.Out)
 			if !ok {
 				panic(fmt.Sprintf("noc: router %d emitted flit through edge port %v", id, of.Out))
 			}
-			n.flitWires = append(n.flitWires, flitWire{
-				dst: nb, in: of.Out.Opposite(), vc: of.DownVC, f: of.F,
-			})
+			n.inFlits[nb] = append(n.inFlits[nb],
+				router.InFlit{In: of.Out.Opposite(), VC: of.DownVC, F: of.F})
 		}
-		for _, cr := range r.TakeOutCredits() {
+		n.stagedFlits[id] = nil
+		for _, cr := range n.stagedCredits[id] {
 			if cr.In == localPort {
-				n.niCreditWires = append(n.niCreditWires, niCreditWire{dst: id, c: cr})
+				n.inNICredits[id] = append(n.inNICredits[id], cr)
 				continue
 			}
 			up, ok := n.mesh.Neighbor(id, cr.In)
 			if !ok {
 				panic(fmt.Sprintf("noc: router %d emitted credit through edge port %v", id, cr.In))
 			}
-			n.creditWires = append(n.creditWires, creditWire{
-				dst: up,
-				c:   core.CreditIn{Out: cr.In.Opposite(), VC: cr.VC, VCFree: cr.VCFree},
-			})
+			n.inCredits[up] = append(n.inCredits[up],
+				core.CreditIn{Out: cr.In.Opposite(), VC: cr.VC, VCFree: cr.VCFree})
 		}
+		n.stagedCredits[id] = nil
 	}
+}
 
-	n.cycle++
+// startPool spawns the persistent compute workers, each owning a fixed
+// contiguous shard of nodes so every bucket has exactly one writer.
+func (n *Network) startPool() {
+	p := &stepPool{start: make([]chan sim.Cycle, n.workers)}
+	nodes := len(n.routers)
+	lo := 0
+	for i := range p.start {
+		hi := lo + nodes/n.workers
+		if i < nodes%n.workers {
+			hi++
+		}
+		ch := make(chan sim.Cycle, 1)
+		p.start[i] = ch
+		go func(lo, hi int, ch chan sim.Cycle) {
+			for c := range ch {
+				for id := lo; id < hi; id++ {
+					n.computeNode(id, c)
+				}
+				p.wg.Done()
+			}
+		}(lo, hi, ch)
+		lo = hi
+	}
+	n.pool = p
+}
+
+// Close releases the compute worker pool. It is idempotent and safe on
+// a serial network; the network itself remains usable — a subsequent
+// Step simply restarts the pool. Long-lived drivers that build many
+// parallel networks (sweeps, campaigns) should Close each one.
+func (n *Network) Close() {
+	if n.pool == nil {
+		return
+	}
+	p := n.pool
+	n.pool = nil
+	p.once.Do(func() {
+		for _, ch := range p.start {
+			close(ch)
+		}
+	})
 }
 
 // Run advances the network cycles steps.

@@ -1,0 +1,332 @@
+// Serial/parallel conformance suite for the two-phase network step.
+//
+// The contract under test: a simulation is bit-exact identical for every
+// Config.Workers value — same per-packet timestamps, same statistics
+// collector output, same observability event stream after canonical
+// sorting. The suite runs identical seeded workloads (open-loop
+// synthetic, trace replay; baseline and fault-tolerant routers; static
+// and randomly injected faults) at Workers=1 and Workers=N and compares
+// everything observable.
+package noc_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gonoc/internal/fault"
+	"gonoc/internal/flit"
+	"gonoc/internal/noc"
+	"gonoc/internal/obs"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/traffic"
+)
+
+// pktRecord is everything observable about one packet's journey.
+type pktRecord struct {
+	id                         uint64
+	src, dst, size             int
+	created, injected, ejected sim.Cycle
+}
+
+// recorder wraps a Traffic source and keeps a reference to every packet
+// it offered, so per-packet latencies can be compared after the run.
+type recorder struct {
+	inner noc.Traffic
+	pkts  []*flit.Packet
+}
+
+func (r *recorder) Offered(node int, c sim.Cycle) []*flit.Packet {
+	ps := r.inner.Offered(node, c)
+	r.pkts = append(r.pkts, ps...)
+	return ps
+}
+
+func (r *recorder) OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet {
+	return r.inner.OnEject(p, c)
+}
+
+// outcome bundles every observable a conformance case compares.
+type outcome struct {
+	packets []pktRecord
+	summary string
+	events  []obs.Event
+	heat    string
+	cycle   sim.Cycle
+}
+
+// confCase is one workload/fault configuration of the suite.
+type confCase struct {
+	name        string
+	baseline    bool          // unprotected router instead of the FT design
+	makeTraffic func() noc.Traffic
+	faults      []string  // injection specs applied before cycle 0
+	faultMean   sim.Cycle // random safe-only injector mean (0 = none)
+	cycles      sim.Cycle
+}
+
+// stopAt is the generation horizon shared by the synthetic workloads so
+// Drain terminates.
+const stopAt = 2000
+
+func uniformTraffic(seed uint64) func() noc.Traffic {
+	return func() noc.Traffic {
+		src := traffic.NewSynthetic(16, 0.06, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), seed)
+		src.StopAt(stopAt)
+		return src
+	}
+}
+
+func transposeTraffic(seed uint64) func() noc.Traffic {
+	return func() noc.Traffic {
+		m := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: router.DefaultConfig()}, nil).Mesh()
+		src := traffic.NewSynthetic(16, 0.05, traffic.Transpose(m), traffic.FixedSize(3), seed)
+		src.StopAt(stopAt)
+		return src
+	}
+}
+
+func traceTraffic() func() noc.Traffic {
+	var entries []traffic.TraceEntry
+	for c := sim.Cycle(0); c < stopAt; c += 7 {
+		entries = append(entries,
+			traffic.TraceEntry{Cycle: c, Src: int(c) % 16, Dst: (int(c) + 5) % 16, Size: 1 + int(c)%4},
+			traffic.TraceEntry{Cycle: c + 2, Src: 15 - int(c)%16, Dst: int(c) % 16, Size: 2},
+		)
+	}
+	// Drop self-sends the generator grammar forbids.
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.Src != e.Dst {
+			kept = append(kept, e)
+		}
+	}
+	entries = kept
+	return func() noc.Traffic { return traffic.NewTrace(entries) }
+}
+
+func conformanceCases() []confCase {
+	return []confCase{
+		{
+			name:        "uniform/ft/fault-free",
+			makeTraffic: uniformTraffic(42),
+			cycles:      stopAt,
+		},
+		{
+			name:        "transpose/ft/static+injected-faults",
+			makeTraffic: transposeTraffic(77),
+			faults:      []string{"5:sa1:e", "6:va1:n:1", "10:xb:w", "9:rc:l"},
+			faultMean:   600,
+			cycles:      stopAt,
+		},
+		{
+			name:        "uniform/baseline/fault-free",
+			baseline:    true,
+			makeTraffic: uniformTraffic(1234),
+			cycles:      stopAt,
+		},
+		{
+			name:        "tracefile/ft/static-faults",
+			makeTraffic: traceTraffic(),
+			faults:      []string{"0:sa1:s", "3:xb:w", "12:va1:e:0"},
+			cycles:      stopAt,
+		},
+	}
+}
+
+// runCase runs one configuration at the given worker count and returns
+// every observable.
+func runCase(t *testing.T, cc confCase, workers int) outcome {
+	t.Helper()
+	o := obs.New(1 << 21)
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = !cc.baseline
+	rc.Obs = o
+	rec := &recorder{inner: cc.makeTraffic()}
+	n, err := noc.New(noc.Config{
+		Width: 4, Height: 4, Router: rc, Warmup: 100, Workers: workers,
+	}, rec)
+	if err != nil {
+		t.Fatalf("%s: %v", cc.name, err)
+	}
+	defer n.Close()
+	for _, spec := range cc.faults {
+		id, site, err := fault.ParseInjection(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", cc.name, err)
+		}
+		fault.Apply(n.Router(id), site, true)
+	}
+	if cc.faultMean > 0 {
+		fault.NewInjector(n, cc.faultMean, 999, true)
+	}
+	n.Run(cc.cycles)
+	if !n.Drain(cc.cycles + 50000) {
+		t.Fatalf("%s (workers=%d): did not drain, %d in flight",
+			cc.name, workers, n.Stats().InFlight())
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("%s (workers=%d): %v", cc.name, workers, err)
+	}
+	if d := o.Tracer.Dropped(); d != 0 {
+		t.Fatalf("%s (workers=%d): trace ring wrapped (%d dropped); grow the capacity", cc.name, workers, d)
+	}
+	out := outcome{
+		summary: n.Stats().Summary(),
+		events:  o.Tracer.CanonicalEvents(),
+		heat:    n.Heatmap(),
+		cycle:   n.Now(),
+	}
+	for _, p := range rec.pkts {
+		out.packets = append(out.packets, pktRecord{
+			id: p.ID, src: p.Src, dst: p.Dst, size: p.Size,
+			created: p.CreatedAt, injected: p.InjectedAt, ejected: p.EjectedAt,
+		})
+	}
+	return out
+}
+
+// diffOutcomes asserts two outcomes are bit-exact identical.
+func diffOutcomes(t *testing.T, name string, workers int, ref, got outcome) {
+	t.Helper()
+	if ref.cycle != got.cycle {
+		t.Errorf("%s: final cycle %d (workers=1) vs %d (workers=%d)", name, ref.cycle, got.cycle, workers)
+	}
+	if len(ref.packets) != len(got.packets) {
+		t.Fatalf("%s: %d packets (workers=1) vs %d (workers=%d)",
+			name, len(ref.packets), len(got.packets), workers)
+	}
+	for i := range ref.packets {
+		if ref.packets[i] != got.packets[i] {
+			t.Fatalf("%s (workers=%d): packet %d diverged:\n  serial:   %+v\n  parallel: %+v",
+				name, workers, i, ref.packets[i], got.packets[i])
+		}
+	}
+	if ref.summary != got.summary {
+		t.Errorf("%s (workers=%d): stats diverged:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+			name, workers, ref.summary, workers, got.summary)
+	}
+	if ref.heat != got.heat {
+		t.Errorf("%s (workers=%d): link-utilization heatmap diverged", name, workers)
+	}
+	if len(ref.events) != len(got.events) {
+		t.Fatalf("%s: %d obs events (workers=1) vs %d (workers=%d)",
+			name, len(ref.events), len(got.events), workers)
+	}
+	for i := range ref.events {
+		if ref.events[i] != got.events[i] {
+			t.Fatalf("%s (workers=%d): canonical event %d diverged:\n  serial:   %+v\n  parallel: %+v",
+				name, workers, i, ref.events[i], got.events[i])
+		}
+	}
+}
+
+// TestSerialParallelConformance is the acceptance suite: Workers=1 vs
+// Workers=8 must be bit-exact on every configuration; the first
+// configuration additionally checks uneven shard counts.
+func TestSerialParallelConformance(t *testing.T) {
+	for i, cc := range conformanceCases() {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			ref := runCase(t, cc, 1)
+			if len(ref.packets) == 0 {
+				t.Fatal("workload offered no packets")
+			}
+			if ref.summary == "" || len(ref.events) == 0 {
+				t.Fatal("empty observables")
+			}
+			workerSet := []int{8}
+			if i == 0 {
+				workerSet = []int{2, 3, 8} // 3 does not divide 16: uneven shards
+			}
+			for _, w := range workerSet {
+				diffOutcomes(t, cc.name, w, ref, runCase(t, cc, w))
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism guards the commit phase against map-iteration or
+// scheduling nondeterminism: three repeated runs of one seeded, faulted,
+// parallel configuration must produce byte-identical statistics and
+// identical canonical event streams.
+func TestGoldenDeterminism(t *testing.T) {
+	cc := confCase{
+		name:        "golden",
+		makeTraffic: transposeTraffic(2014),
+		faults:      []string{"5:sa1:e", "10:xb:w"},
+		faultMean:   800,
+		cycles:      stopAt,
+	}
+	run := func() outcome { return runCase(t, cc, 4) }
+	ref := run()
+	if ref.summary == "" {
+		t.Fatal("empty summary")
+	}
+	for rep := 0; rep < 2; rep++ {
+		got := run()
+		if got.summary != ref.summary {
+			t.Fatalf("run %d summary diverged:\n%s\nvs\n%s", rep+2, ref.summary, got.summary)
+		}
+		diffOutcomes(t, cc.name, 4, ref, got)
+	}
+}
+
+// TestConfigWorkersValidation is the Config.Workers table test: negative
+// values are rejected by New with a descriptive error; 0 defaults to
+// GOMAXPROCS; any request is clamped to the node count.
+func TestConfigWorkersValidation(t *testing.T) {
+	nodes := 16
+	wantDefault := runtime.GOMAXPROCS(0)
+	if wantDefault > nodes {
+		wantDefault = nodes
+	}
+	cases := []struct {
+		workers int
+		wantErr bool
+		want    int
+	}{
+		{workers: -1, wantErr: true},
+		{workers: -64, wantErr: true},
+		{workers: 0, want: wantDefault},
+		{workers: 1, want: 1},
+		{workers: 5, want: 5},
+		{workers: runtime.NumCPU() + 1000, want: nodes}, // > NumCPU: clamped to the mesh
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("workers=%d", tc.workers), func(t *testing.T) {
+			cfg := noc.Config{Width: 4, Height: 4, Router: router.DefaultConfig(), Workers: tc.workers}
+			n, err := noc.New(cfg, nil)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Workers=%d accepted, want error", tc.workers)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Workers=%d rejected: %v", tc.workers, err)
+			}
+			defer n.Close()
+			if got := n.Workers(); got != tc.want {
+				t.Fatalf("Workers=%d resolved to %d, want %d", tc.workers, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCloseIdempotentAndRestartable: Close may be called repeatedly, and
+// a closed network restarts its pool on the next Step.
+func TestCloseIdempotentAndRestartable(t *testing.T) {
+	src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.FixedSize(2), 7)
+	n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: router.DefaultConfig(), Workers: 4}, src)
+	n.Run(200)
+	n.Close()
+	n.Close()
+	before := n.Stats().Created()
+	n.Run(200) // restarts the pool
+	if n.Stats().Created() <= before {
+		t.Fatal("no traffic after pool restart")
+	}
+	n.Close()
+}

@@ -209,3 +209,57 @@ func TestFormatPerRouter(t *testing.T) {
 
 // uint64ToCycle documents the int→Cycle conversion in ring tests.
 func uint64ToCycle(i int) sim.Cycle { return sim.Cycle(i) }
+
+func TestSortEventsCanonicalOrder(t *testing.T) {
+	// A scrambled multiset of events differing in exactly one field per
+	// adjacent canonical pair, including duplicates.
+	evs := []Event{
+		{Cycle: 7, Router: 0, Kind: EvFaultInject},
+		{Cycle: 3, Router: 2, Kind: EvFaultInject, Port: 1},
+		{Cycle: 3, Router: 1, Kind: EvFaultInject},
+		{Cycle: 3, Router: 2, Kind: EvFaultInject, Port: 1, VC: 2},
+		{Cycle: 3, Router: 2, Kind: EvFaultInject, Port: 1, VC: 2, Arg: 5},
+		{Cycle: 3, Router: 2, Kind: EvFaultInject, Port: 1, VC: 2, Arg: 5, Arg2: 1},
+		{Cycle: 3, Router: 2, Kind: EvFaultInject, Port: 1, VC: 2, Arg: 5, Arg2: 1, Detail: "x"},
+		{Cycle: 3, Router: 1, Kind: EvFaultInject},
+	}
+	SortEvents(evs)
+	for i := 1; i < len(evs); i++ {
+		if CanonicalLess(evs[i], evs[i-1]) {
+			t.Fatalf("events %d and %d out of canonical order: %+v > %+v", i-1, i, evs[i-1], evs[i])
+		}
+	}
+	if evs[len(evs)-1].Cycle != 7 {
+		t.Fatalf("cycle is not the primary key: %+v", evs)
+	}
+	if evs[0] != evs[1] || evs[0].Router != 1 {
+		t.Fatalf("duplicate events must sort adjacently: %+v", evs[:2])
+	}
+}
+
+func TestCanonicalEventsPermutationInvariant(t *testing.T) {
+	// Two tracers receive the same multiset in different emission orders
+	// (a serial run vs a worker interleaving); the canonical views agree.
+	base := []Event{
+		{Cycle: 1, Router: 4, Kind: EvFaultInject, Port: 2},
+		{Cycle: 1, Router: 0, Kind: EvFaultInject},
+		{Cycle: 2, Router: 3, Kind: EvFaultDetect, Arg: 9},
+		{Cycle: 1, Router: 0, Kind: EvFaultInject}, // duplicate
+	}
+	a, b := NewTracer(16), NewTracer(16)
+	for _, e := range base {
+		a.Emit(e)
+	}
+	for i := len(base) - 1; i >= 0; i-- {
+		b.Emit(base[i])
+	}
+	ca, cb := a.CanonicalEvents(), b.CanonicalEvents()
+	if len(ca) != len(cb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("event %d differs after canonical sort: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+}

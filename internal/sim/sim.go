@@ -7,11 +7,13 @@
 // evaluating their internal pipeline stages in reverse order (see
 // internal/router) so that state written this cycle is observed next cycle.
 //
-// The kernel is deliberately single-threaded: determinism is a hard
-// requirement for reproducible experiments, and NoC simulations at this
-// scale (64 routers) are dominated by per-router work that parallelizes
-// poorly at cycle granularity. Parallelism belongs one level up, across
-// independent simulations (see internal/sweep).
+// The kernel itself is single-threaded: determinism is a hard
+// requirement for reproducible experiments, and Tick runs in
+// registration order on the caller's goroutine. Parallelism lives in
+// two places above the kernel, both preserving bit-exact determinism:
+// internal/noc shards each cycle's compute phase across worker
+// goroutines behind a two-phase (compute, then commit) step, and
+// internal/sweep runs independent simulations concurrently.
 package sim
 
 import "fmt"

@@ -153,3 +153,27 @@ func (c *Collector) ThroughputFlits(end sim.Cycle) float64 {
 func (c *Collector) String() string {
 	return fmt.Sprintf("stats{created=%d ejected=%d avgLat=%.1f}", c.created, c.ejected, c.AvgLatency())
 }
+
+// Summary renders every aggregate the collector holds as a multi-line
+// string. Two runs of the same simulation produce byte-identical
+// summaries — the floating-point accumulators are summed in ejection
+// order, which the network keeps canonical — so golden-determinism and
+// serial/parallel conformance tests compare Summary outputs directly.
+func (c *Collector) Summary() string {
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	app("created %d ejected %d measured %d in-flight %d\n",
+		c.created, c.ejected, c.measured, c.InFlight())
+	app("latency avg %v net %v min %d max %d\n",
+		c.AvgLatency(), c.AvgNetworkLatency(), c.MinLatency(), c.latMax)
+	app("latency p50 %v p95 %v p99 %v\n",
+		c.Percentile(50), c.Percentile(95), c.Percentile(99))
+	app("flits %d hopsum %v\n", c.flits, c.hopSum)
+	for cls := range c.byClass {
+		if c.byClass[cls].n == 0 {
+			continue
+		}
+		app("class %d n %d latsum %v\n", cls, c.byClass[cls].n, c.byClass[cls].latSum)
+	}
+	return string(b)
+}

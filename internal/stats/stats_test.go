@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"gonoc/internal/flit"
@@ -213,5 +214,31 @@ func TestZeroLatencyPacket(t *testing.T) {
 	}
 	if c.AvgLatency() != 10 {
 		t.Errorf("avg = %v, want 10", c.AvgLatency())
+	}
+}
+
+func TestSummaryDeterministicAndComplete(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector(10)
+		for i := 0; i < 40; i++ {
+			p := &flit.Packet{
+				Src: i % 4, Dst: (i + 1) % 4, Size: 1 + i%5,
+				CreatedAt: sim.Cycle(i), InjectedAt: sim.Cycle(i + 2),
+				EjectedAt: sim.Cycle(i + 20 + i%7),
+				Class:     flit.Class(i % 2),
+			}
+			c.RecordCreation(p)
+			c.RecordEjection(p)
+		}
+		return c
+	}
+	s1, s2 := build().Summary(), build().Summary()
+	if s1 != s2 {
+		t.Fatalf("Summary not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	for _, want := range []string{"created 40", "latency avg", "p50", "flits", "class 0", "class 1"} {
+		if !strings.Contains(s1, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s1)
+		}
 	}
 }

@@ -1,9 +1,11 @@
-// Package sweep runs independent simulation jobs in parallel. The
-// simulator core is deliberately single-threaded for determinism (see
-// internal/sim); throughput comes from running many configurations at
-// once — parameter sweeps, per-application experiments, Monte-Carlo
-// campaigns — each on its own goroutine with its own network and its own
-// deterministically derived seed.
+// Package sweep runs independent simulation jobs in parallel — parameter
+// sweeps, per-application experiments, Monte-Carlo campaigns — each on
+// its own goroutine with its own network and its own deterministically
+// derived seed. It composes with the other parallelism axis, the
+// network's sharded compute phase (noc.Config.Workers): a sweep of
+// many small networks wants serial stepping (StepWorkers/Workers = 1)
+// to avoid oversubscription, while a few large networks want the
+// opposite. Results are bit-identical either way.
 package sweep
 
 import (

@@ -3,6 +3,10 @@ package sweep
 import (
 	"sync/atomic"
 	"testing"
+
+	"gonoc/internal/noc"
+	"gonoc/internal/router"
+	"gonoc/internal/traffic"
 )
 
 func TestRunOrderPreserved(t *testing.T) {
@@ -75,4 +79,37 @@ func TestRunParallelismActuallyConcurrent(t *testing.T) {
 		close(done)
 	}()
 	<-done
+}
+
+// TestRunNestedNetworkWorkers runs a sweep whose jobs each step their
+// own network with a sharded compute phase — the two parallelism axes
+// composed, as fault campaigns over parallel-stepped networks do. Every
+// job must produce the result its seed dictates regardless of how the
+// sweep and step goroutines interleave (the race detector covers the
+// rest).
+func TestRunNestedNetworkWorkers(t *testing.T) {
+	const jobs = 6
+	run := func(workers int) []string {
+		return Run(jobs, 3, func(i int) string {
+			rc := router.DefaultConfig()
+			rc.FaultTolerant = true
+			src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.FixedSize(2), uint64(i)+1)
+			src.StopAt(400)
+			n := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: rc, Workers: workers}, src)
+			defer n.Close()
+			n.Run(400)
+			if !n.Drain(10000) {
+				t.Errorf("job %d did not drain", i)
+			}
+			return n.Stats().Summary()
+		})
+	}
+	parallel := run(2)
+	serial := run(1)
+	for i := range parallel {
+		if parallel[i] != serial[i] {
+			t.Fatalf("job %d: nested parallel stepping changed the result:\n%s\nvs\n%s",
+				i, parallel[i], serial[i])
+		}
+	}
 }
