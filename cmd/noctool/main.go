@@ -8,7 +8,9 @@
 //	noctool critpath          Section VI-B critical-path analysis only
 //	noctool latency           Figures 7 and 8 (SPLASH-2 / PARSEC latency)
 //	noctool sim               Free-form simulation with synthetic traffic
+//	noctool serve             Long-running simulation with a live telemetry endpoint
 //	noctool metrics           Simulate and print per-router obs counters
+//	noctool spans             Simulate and print per-packet hop-span breakdowns
 //	noctool trace             Simulate and write a cycle-accurate event trace
 //	noctool ablation          Design-choice sweeps
 //	noctool record / replay   Record and replay offered-traffic traces
@@ -20,9 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 
 	"gonoc/internal/experiments"
 	"gonoc/internal/fault"
@@ -30,6 +33,7 @@ import (
 	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
+	"gonoc/internal/telemetry"
 	"gonoc/internal/topology"
 	"gonoc/internal/tracefile"
 	"gonoc/internal/traffic"
@@ -41,12 +45,15 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "noctool: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+		// Bind synchronously so a bad address fails here, before the
+		// command runs; the nil handler serves http.DefaultServeMux,
+		// where net/http/pprof registers.
+		addr, err := telemetry.ListenAndServe(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noctool: pprof server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", addr)
 	}
 	if flag.NArg() < 1 {
 		usage()
@@ -71,8 +78,12 @@ func main() {
 		err = runLatency(args)
 	case "sim":
 		err = runSim(args)
+	case "serve":
+		err = runServe(args)
 	case "metrics":
 		err = runMetrics(args)
+	case "spans":
+		err = runSpans(args)
 	case "trace":
 		err = runTrace(args)
 	case "ablation":
@@ -105,7 +116,13 @@ commands:
   critpath   print only the Section VI-B critical-path analysis
   latency    run the Figure 7/8 latency study (-suite splash2|parsec|both)
   sim        run a synthetic-traffic simulation (see -h for flags)
+  serve      run a (possibly endless) simulation with a live telemetry
+             endpoint: Prometheus text on /metrics, JSON on /status
+             (-addr :8077; -cycles 0 runs until interrupted)
   metrics    run a simulation and print per-router observability counters
+  spans      run a simulation and print per-packet hop spans: the slowest
+             packets' latency broken down into queueing, VC-allocation
+             stall, switch wait, crossbar and link cycles per hop
   trace      run a simulation and write a cycle-accurate event trace
              (-format chrome opens in chrome://tracing or ui.perfetto.dev)
   ablation   design-choice sweeps (bypass rotation, VC count, secondary path)
@@ -115,14 +132,19 @@ commands:
 global flags (before the command):
   -pprof addr   serve net/http/pprof on addr (e.g. -pprof :6060)
 
-sim, metrics and trace accept -inject with comma-separated fault specs
-<router>:<kind>:<port>[:<vc>], e.g. -inject 5:sa1:e,0:va1:n:2; kinds are
-rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports l,n,e,s,w.
+sim, serve, metrics, spans and trace accept -inject with comma-separated
+fault specs <router>:<kind>:<port>[:<vc>], e.g. -inject 5:sa1:e,0:va1:n:2;
+kinds are rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports
+l,n,e,s,w.
 
-sim, metrics, trace and campaign accept -workers to bound parallelism:
-for the simulation commands it shards each cycle's compute phase across
-that many goroutines (0 = all cores, 1 = serial) with bit-identical
-results; for campaign it runs the designs concurrently.`)
+The simulation commands and campaign accept -workers to bound
+parallelism: for the simulation commands it shards each cycle's compute
+phase across that many goroutines (0 = all cores, 1 = serial) with
+bit-identical results; for campaign it runs the designs concurrently.
+
+sim and campaign also accept -telemetry addr to serve live /metrics and
+/status for the duration of the run (campaign exports per-design trial
+progress gauges); serve is the long-running form of the same endpoint.`)
 }
 
 func runSPF(args []string) error {
@@ -144,13 +166,22 @@ func runCampaign(args []string) error {
 	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "designs campaigned in parallel (0 = all cores)")
+	telemetryAddr := fs.String("telemetry", "",
+		"serve live per-design trial progress on this address for the duration of the campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Printf("Monte-Carlo faults-to-failure (%d trials)\n", *trials)
-	for _, r := range experiments.CampaignTable(*trials, *seed, *workers) {
-		fmt.Printf("  %-16s mean %5.2f  min %2d  max %2d\n", r.Design, r.Mean, r.Min, r.Max)
+	var onTrial func(design string, done, total int)
+	if *telemetryAddr != "" {
+		srv := telemetry.NewServer(nil)
+		addr, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics (status on /status)\n", addr)
+		onTrial = srv.SetProgress
 	}
+	fmt.Print(experiments.FormatCampaign(experiments.CampaignTableObserved(*trials, *seed, *workers, onTrial)))
 	return nil
 }
 
@@ -260,20 +291,50 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 	return n, nil
 }
 
-func runSim(args []string) error {
+func runSim(args []string) error { return runSimReady(args, nil) }
+
+// runSimReady is runSim with a test hook: when -telemetry is set, onReady
+// (if non-nil) receives the bound address before the simulation starts.
+func runSimReady(args []string, onReady func(net.Addr)) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	sf := addSimFlags(fs)
 	heatmap := fs.Bool("heatmap", false, "print a router-load heatmap at the end")
+	telemetryAddr := fs.String("telemetry", "",
+		"serve live /metrics and /status on this address during the run (e.g. :8077)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n, err := sf.build(nil)
+	// With telemetry on, the run is instrumented (counters only — the
+	// trace ring stays minimal and disabled).
+	var o *obs.Observer
+	if *telemetryAddr != "" {
+		o = obs.New(1)
+		o.Tracer.SetEnabled(false)
+	}
+	n, err := sf.build(o)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		srv = telemetry.NewServer(o.Metrics)
+		telemetry.Attach(srv, n, 0)
+		addr, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics (status on /status)\n", addr)
+		if onReady != nil {
+			onReady(addr)
+		}
+	}
 	n.Run(sim.Cycle(*sf.cycles))
 	st := n.Stats()
+	if srv != nil {
+		srv.SetCycle(n.Now())
+		srv.Publish(st.Snapshot())
+	}
 	mesh := n.Mesh()
 	fmt.Printf("cycles:        %d\n", n.Now())
 	fmt.Printf("packets:       %d created, %d delivered, %d in flight\n",
@@ -287,6 +348,112 @@ func runSim(args []string) error {
 	if *heatmap {
 		fmt.Print(n.Heatmap())
 	}
+	return nil
+}
+
+// runServe runs serveSim until the run completes or the process is
+// interrupted (SIGINT ends the simulation gracefully and prints the
+// final summary).
+func runServe(args []string) error {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	return serveSim(args, nil, stop)
+}
+
+// serveSim is the testable core of the serve command: a simulation that
+// exposes live telemetry while it runs. onReady (optional) receives the
+// bound address before the first cycle; closing stop ends the run at the
+// next chunk boundary. -cycles 0 runs until stopped.
+func serveSim(args []string, onReady func(net.Addr), stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	sf := addSimFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8077", "telemetry listen address (/metrics and /status)")
+	interval := fs.Uint64("interval", 0, "cycles between stats snapshots (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := obs.New(1) // counters only; keep the trace ring minimal
+	o.Tracer.SetEnabled(false)
+	n, err := sf.build(o)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	srv := telemetry.NewServer(o.Metrics)
+	telemetry.Attach(srv, n, sim.Cycle(*interval))
+	bound, err := telemetry.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics (status on /status)\n", bound)
+	if onReady != nil {
+		onReady(bound)
+	}
+	// Step in chunks so a stop request is honoured promptly even on an
+	// endless (-cycles 0) run.
+	const chunk = 1 << 10
+	total := sim.Cycle(*sf.cycles)
+	for stopped := false; !stopped && (total == 0 || n.Now() < total); {
+		step := sim.Cycle(chunk)
+		if total > 0 && total-n.Now() < step {
+			step = total - n.Now()
+		}
+		n.Run(step)
+		select {
+		case <-stop:
+			stopped = true
+		default:
+		}
+	}
+	srv.SetCycle(n.Now())
+	st := n.Stats()
+	srv.Publish(st.Snapshot())
+	fmt.Printf("stopped at cycle %d: %d packets delivered, avg latency %.2f cycles "+
+		"(p50 %.0f, p95 %.0f, p99 %.0f)\n",
+		n.Now(), st.Ejected(), st.AvgLatency(),
+		st.Percentile(50), st.Percentile(95), st.Percentile(99))
+	return nil
+}
+
+// runSpans runs an instrumented simulation and prints the per-packet
+// hop-span report: where the slowest packets spent their cycles, hop by
+// hop and pipeline phase by pipeline phase.
+func runSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ContinueOnError)
+	sf := addSimFlags(fs)
+	events := fs.Int("events", 1<<20, "trace ring capacity; spans are built from retained events")
+	top := fs.Int("top", 5, "how many of the slowest packets to detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := obs.New(*events)
+	n, err := sf.build(o)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	// Trace only the measured window, like runTrace: spans of warmup
+	// packets would be excluded from latency stats anyway.
+	warm := sim.Cycle(*sf.warmup)
+	total := sim.Cycle(*sf.cycles)
+	if warm >= total {
+		fmt.Fprintf(os.Stderr, "noctool spans: warmup (%d) covers the whole run (%d cycles); "+
+			"no spans will be complete — lower -warmup or raise -cycles\n", warm, total)
+		warm = total
+	}
+	if warm > 0 {
+		o.Tracer.SetEnabled(false)
+		n.Run(warm)
+		o.Tracer.SetEnabled(true)
+	}
+	n.Run(total - warm)
+	fmt.Print(obs.FormatSpans(n.Spans(), *top))
 	return nil
 }
 

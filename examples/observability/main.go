@@ -1,10 +1,14 @@
 // Observability walks through the internal/obs layer: a faulty 4×4
 // protected mesh is simulated with metrics and tracing enabled, the
 // per-router counter table shows where the fault-tolerance mechanisms
-// fired, and the captured event trace is written as a Chrome
-// trace_event file — open trace.json in chrome://tracing or
-// https://ui.perfetto.dev to see each router's pipeline activity laid
-// out as per-port timelines.
+// fired, the latency distribution and per-packet hop spans show what
+// those mechanisms cost and where, and the captured event trace is
+// written as a Chrome trace_event file — open trace.json in
+// chrome://tracing or https://ui.perfetto.dev to see each router's
+// pipeline activity laid out as per-port timelines.
+//
+// For the same data live over HTTP while a long run steps, see
+// `noctool serve` (Prometheus /metrics + JSON /status).
 package main
 
 import (
@@ -47,8 +51,20 @@ func main() {
 	n.Run(30_000)
 
 	fmt.Println(obs.FormatPerRouter(o.Metrics, uint64(n.Now())))
-	fmt.Printf("delivered %d/%d packets, avg latency %.1f cycles, functional: %v\n\n",
-		n.Stats().Ejected(), n.Stats().Created(), n.Stats().AvgLatency(), n.Functional())
+	st := n.Stats()
+	fmt.Printf("delivered %d/%d packets, avg latency %.1f cycles, functional: %v\n",
+		st.Ejected(), st.Created(), st.AvgLatency(), n.Functional())
+	// The histogram keeps the whole distribution, not just the mean: the
+	// fault-tolerance mechanisms cost tail latency, so the interesting
+	// numbers are the percentiles.
+	fmt.Printf("latency p50 %.0f  p95 %.0f  p99 %.0f  max %d cycles\n\n",
+		st.Percentile(50), st.Percentile(95), st.Percentile(99), st.MaxLatency())
+
+	// Hop spans reconstruct each packet's life from the trace: which hops
+	// the slowest packets crossed and which pipeline phase (VA stall, SA
+	// wait, crossbar serialization...) ate the cycles.
+	fmt.Print(obs.FormatSpans(n.Spans(), 3))
+	fmt.Println()
 
 	f, err := os.Create("trace.json")
 	if err != nil {

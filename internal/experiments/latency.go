@@ -55,12 +55,23 @@ func DefaultLatencyConfig() LatencyConfig {
 	}
 }
 
+// Quantiles summarizes one run's latency distribution tail, extracted
+// from the collector's histogram.
+type Quantiles struct {
+	// P50, P95 and P99 are packet-latency percentiles in cycles.
+	P50, P95, P99 float64
+}
+
 // LatencyPoint is one application's bar pair in Figure 7/8.
 type LatencyPoint struct {
 	// App is the benchmark name.
 	App string
 	// FaultFree and Faulty are average packet latencies in cycles.
 	FaultFree, Faulty float64
+	// FaultFreeQ and FaultyQ are the corresponding distribution tails —
+	// the fault-tolerance mechanisms cost little on average but show up
+	// in the tail, which the averages alone can't demonstrate.
+	FaultFreeQ, FaultyQ Quantiles
 	// DeltaPct is the percentage increase.
 	DeltaPct float64
 	// Faults is how many faults were present by the end of the faulty
@@ -82,7 +93,7 @@ type SuiteResult struct {
 // RunApp simulates one application fault-free and fault-injected on the
 // protected-router network and returns its latency pair.
 func RunApp(app workloads.App, cfg LatencyConfig) LatencyPoint {
-	run := func(faulty bool) (float64, int) {
+	run := func(faulty bool) (float64, Quantiles, int) {
 		rc := router.DefaultConfig()
 		rc.FaultTolerant = true
 		mesh := topology.NewMesh(cfg.Width, cfg.Height)
@@ -101,11 +112,16 @@ func RunApp(app workloads.App, cfg LatencyConfig) LatencyPoint {
 		if inj != nil {
 			nFaults = len(inj.Injected())
 		}
-		return n.Stats().AvgLatency(), nFaults
+		st := n.Stats()
+		q := Quantiles{P50: st.Percentile(50), P95: st.Percentile(95), P99: st.Percentile(99)}
+		return st.AvgLatency(), q, nFaults
 	}
-	clean, _ := run(false)
-	dirty, nFaults := run(true)
-	pt := LatencyPoint{App: app.Name, FaultFree: clean, Faulty: dirty, Faults: nFaults}
+	clean, cleanQ, _ := run(false)
+	dirty, dirtyQ, nFaults := run(true)
+	pt := LatencyPoint{
+		App: app.Name, FaultFree: clean, Faulty: dirty,
+		FaultFreeQ: cleanQ, FaultyQ: dirtyQ, Faults: nFaults,
+	}
 	if clean > 0 {
 		pt.DeltaPct = (dirty - clean) / clean * 100
 	}

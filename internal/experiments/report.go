@@ -97,27 +97,58 @@ func SPFVCSweep(vcs []int) []reliability.SPFResult {
 // workers goroutines (0 = all cores) with identical results at any
 // worker count.
 func CampaignTable(trials int, seed uint64, workers int) []ftrouters.CampaignResult {
+	return CampaignTableObserved(trials, seed, workers, nil)
+}
+
+// CampaignTableObserved is CampaignTable with a progress callback (nil
+// to disable): onTrial(design, done, total) runs after every trial of
+// every design, so a long campaign can feed live telemetry gauges. The
+// callback may be invoked concurrently from the sweep workers; the
+// results are identical with or without it.
+func CampaignTableObserved(trials int, seed uint64, workers int, onTrial func(design string, done, total int)) []ftrouters.CampaignResult {
+	observe := func(design string) func(done, total int) {
+		if onTrial == nil {
+			return nil
+		}
+		return func(done, total int) { onTrial(design, done, total) }
+	}
 	return sweep.Run(4, workers, func(i int) ftrouters.CampaignResult {
 		switch i {
 		case 0:
-			return ftrouters.FaultsToFailure(ftrouters.NewBulletProof(), trials, seed)
+			return ftrouters.FaultsToFailureObserved(ftrouters.NewBulletProof(), trials, seed, observe("BulletProof"))
 		case 1:
-			return ftrouters.FaultsToFailure(ftrouters.NewVicis(), trials, seed)
+			return ftrouters.FaultsToFailureObserved(ftrouters.NewVicis(), trials, seed, observe("Vicis"))
 		case 2:
-			return ftrouters.FaultsToFailure(ftrouters.NewRoCo(), trials, seed)
+			return ftrouters.FaultsToFailureObserved(ftrouters.NewRoCo(), trials, seed, observe("RoCo"))
 		default:
 			cfg := router.DefaultConfig()
 			cfg.FaultTolerant = true
-			proposed := fault.FaultsToFailure(cfg, trials, seed, fault.UniversePaper)
+			proposed := fault.FaultsToFailureObserved(cfg, trials, seed, fault.UniversePaper, observe("Proposed Router"))
 			return ftrouters.CampaignResult{
 				Design: "Proposed Router",
 				Trials: proposed.Trials,
 				Mean:   proposed.Mean,
 				Min:    proposed.Min,
 				Max:    proposed.Max,
+				P50:    proposed.P50,
+				P95:    proposed.P95,
+				P99:    proposed.P99,
 			}
 		}
 	})
+}
+
+// FormatCampaign renders faults-to-failure campaign results, percentiles
+// alongside the mean.
+func FormatCampaign(rows []ftrouters.CampaignResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Faults to failure (Monte-Carlo, %d trials)\n", rows[0].Trials)
+	fmt.Fprintf(&b, "  %-24s %7s %5s %5s %5s %5s %5s\n", "Architecture", "mean", "p50", "p95", "p99", "min", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %7.2f %5d %5d %5d %5d %5d\n",
+			r.Design, r.Mean, r.P50, r.P95, r.P99, r.Min, r.Max)
+	}
+	return b.String()
 }
 
 // FormatReliability renders Tables I/II and the MTTF analysis as text.
@@ -192,8 +223,10 @@ func FormatSuite(s SuiteResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s latency, fault-free vs fault-injected (avg cycles)\n", s.Suite)
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "  %-14s %7.1f → %7.1f  (+%5.1f%%, %d faults)\n",
-			p.App, p.FaultFree, p.Faulty, p.DeltaPct, p.Faults)
+		fmt.Fprintf(&b, "  %-14s %7.1f → %7.1f  (+%5.1f%%, %d faults)  p50 %.0f→%.0f p95 %.0f→%.0f p99 %.0f→%.0f\n",
+			p.App, p.FaultFree, p.Faulty, p.DeltaPct, p.Faults,
+			p.FaultFreeQ.P50, p.FaultyQ.P50, p.FaultFreeQ.P95, p.FaultyQ.P95,
+			p.FaultFreeQ.P99, p.FaultyQ.P99)
 	}
 	fmt.Fprintf(&b, "  overall latency increase: +%.1f%%\n", s.OverallDeltaPct)
 	return b.String()

@@ -6,6 +6,7 @@ import (
 	"gonoc/internal/core"
 	"gonoc/internal/rng"
 	"gonoc/internal/router"
+	"gonoc/internal/stats"
 	"gonoc/internal/topology"
 )
 
@@ -20,6 +21,9 @@ type CampaignResult struct {
 	Min, Max int
 	// StdDev is the sample standard deviation.
 	StdDev float64
+	// P50, P95 and P99 are nearest-rank percentiles of the per-trial
+	// fault counts.
+	P50, P95, P99 int
 }
 
 // Universe selects which fault sites a campaign draws from.
@@ -61,10 +65,20 @@ func SitesIn(cfg router.Config, u Universe) []Site {
 // trial's outcome. This is the experimental methodology BulletProof and
 // Vicis used for their Table III numbers, applied to our router.
 func FaultsToFailure(cfg router.Config, trials int, seed uint64, u Universe) CampaignResult {
+	return FaultsToFailureObserved(cfg, trials, seed, u, nil)
+}
+
+// FaultsToFailureObserved is FaultsToFailure with a per-trial progress
+// callback (nil to disable): onTrial(done, total) is invoked after each
+// trial, so long campaigns can feed a live telemetry gauge. The callback
+// does not influence the result — both entry points are deterministic in
+// (cfg, trials, seed, u).
+func FaultsToFailureObserved(cfg router.Config, trials int, seed uint64, u Universe, onTrial func(done, total int)) CampaignResult {
 	mesh := topology.NewMesh(3, 3)
 	sites := SitesIn(cfg, u)
 	r := rng.New(seed)
 	res := CampaignResult{Trials: trials, Min: math.MaxInt}
+	counts := make([]int, 0, trials)
 	var sum, sumSq float64
 	for trial := 0; trial < trials; trial++ {
 		rt := core.MustNew(4, mesh, cfg)
@@ -79,11 +93,15 @@ func FaultsToFailure(cfg router.Config, trials int, seed uint64, u Universe) Cam
 		}
 		sum += float64(count)
 		sumSq += float64(count) * float64(count)
+		counts = append(counts, count)
 		if count < res.Min {
 			res.Min = count
 		}
 		if count > res.Max {
 			res.Max = count
+		}
+		if onTrial != nil {
+			onTrial(trial+1, trials)
 		}
 	}
 	res.Mean = sum / float64(trials)
@@ -91,6 +109,9 @@ func FaultsToFailure(cfg router.Config, trials int, seed uint64, u Universe) Cam
 	if varr > 0 {
 		res.StdDev = math.Sqrt(varr)
 	}
+	res.P50 = stats.IntPercentile(counts, 50)
+	res.P95 = stats.IntPercentile(counts, 95)
+	res.P99 = stats.IntPercentile(counts, 99)
 	return res
 }
 

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"gonoc/internal/rng"
+	"gonoc/internal/stats"
 )
 
 // Design describes one fault-tolerant router design for campaign and SPF
@@ -50,13 +51,25 @@ type CampaignResult struct {
 	Mean   float64
 	Min    int
 	Max    int
+	// P50, P95 and P99 are nearest-rank percentiles of the per-trial
+	// fault counts.
+	P50, P95, P99 int
 }
 
 // FaultsToFailure injects uniformly ordered random faults into fresh
 // instances until failure, over the given number of trials.
 func FaultsToFailure(d Design, trials int, seed uint64) CampaignResult {
+	return FaultsToFailureObserved(d, trials, seed, nil)
+}
+
+// FaultsToFailureObserved is FaultsToFailure with a per-trial progress
+// callback (nil to disable): onTrial(done, total) runs after each trial,
+// for live campaign telemetry. The callback does not influence the
+// result.
+func FaultsToFailureObserved(d Design, trials int, seed uint64, onTrial func(done, total int)) CampaignResult {
 	r := rng.New(seed)
 	res := CampaignResult{Design: d.Name(), Trials: trials, Min: math.MaxInt}
+	counts := make([]int, 0, trials)
 	sum := 0
 	for t := 0; t < trials; t++ {
 		inst := d.NewInstance()
@@ -70,14 +83,21 @@ func FaultsToFailure(d Design, trials int, seed uint64) CampaignResult {
 			}
 		}
 		sum += count
+		counts = append(counts, count)
 		if count < res.Min {
 			res.Min = count
 		}
 		if count > res.Max {
 			res.Max = count
 		}
+		if onTrial != nil {
+			onTrial(t+1, trials)
+		}
 	}
 	res.Mean = float64(sum) / float64(trials)
+	res.P50 = stats.IntPercentile(counts, 50)
+	res.P95 = stats.IntPercentile(counts, 95)
+	res.P99 = stats.IntPercentile(counts, 99)
 	return res
 }
 

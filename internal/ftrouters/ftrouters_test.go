@@ -145,3 +145,27 @@ func TestCampaignDeterminism(t *testing.T) {
 		t.Fatalf("campaign not deterministic")
 	}
 }
+
+// TestCampaignPercentilesAndProgress checks the percentile fields are
+// ordered and bounded by the extremes, and that the progress callback
+// fires once per trial without perturbing the result.
+func TestCampaignPercentilesAndProgress(t *testing.T) {
+	plain := FaultsToFailure(NewVicis(), 400, 9)
+	var calls, lastDone, lastTotal int
+	observed := FaultsToFailureObserved(NewVicis(), 400, 9, func(done, total int) {
+		calls++
+		lastDone, lastTotal = done, total
+	})
+	if plain != observed {
+		t.Fatalf("progress callback changed the result: %+v vs %+v", plain, observed)
+	}
+	if calls != 400 || lastDone != 400 || lastTotal != 400 {
+		t.Errorf("callback fired %d times, last (%d/%d), want 400 (400/400)", calls, lastDone, lastTotal)
+	}
+	if plain.P50 < plain.Min || plain.P99 > plain.Max || plain.P50 > plain.P95 || plain.P95 > plain.P99 {
+		t.Errorf("percentiles inconsistent: %+v", plain)
+	}
+	if plain.P50 == 0 {
+		t.Errorf("p50 = 0 over %d trials", plain.Trials)
+	}
+}

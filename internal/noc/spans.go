@@ -1,0 +1,37 @@
+package noc
+
+import (
+	"gonoc/internal/obs"
+	"gonoc/internal/topology"
+)
+
+// NextHop reports the downstream router and the input port its link feeds
+// when leaving router id through output port out. ok is false for the
+// local (ejection) port and for mesh edges. It is the topology adapter
+// obs.BuildSpans needs to chain hops across routers.
+func (n *Network) NextHop(id, out int) (nextRouter, inPort int, ok bool) {
+	p := topology.Port(out)
+	if p == localPort {
+		return 0, 0, false
+	}
+	nb, ok := n.mesh.Neighbor(id, p)
+	if !ok {
+		return 0, 0, false
+	}
+	return nb, int(p.Opposite()), true
+}
+
+// Spans reconstructs per-packet hop spans from the network's retained
+// trace window. It returns an empty set when the network runs without a
+// tracer. Call it after the simulation (or between steps) — the builder
+// reads a snapshot of the ring, so a live network is safe too.
+func (n *Network) Spans() obs.SpanSet {
+	o := n.Obs()
+	if o == nil || o.Tracer == nil {
+		return obs.SpanSet{}
+	}
+	return obs.BuildSpans(o.Tracer.Events(), obs.SpanConfig{
+		NextHop:   n.NextHop,
+		LocalPort: int(localPort),
+	})
+}

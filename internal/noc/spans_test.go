@@ -1,0 +1,125 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/obs"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+// TestSpansSinglePacket runs one packet corner to corner and checks the
+// reconstructed span against ground truth: the XY route, the hop count,
+// and the latency the NI reported.
+func TestSpansSinglePacket(t *testing.T) {
+	o := obs.New(1 << 14)
+	n := MustNew(obsCfg(o), nil)
+	defer n.Close()
+	n.Inject(0, &flit.Packet{Dst: 15, Size: 3})
+	if !n.Drain(500) {
+		t.Fatal("packet not delivered")
+	}
+	set := n.Spans()
+	if len(set.Packets) != 1 || set.Incomplete != 0 || set.Orphans != 0 || set.Dropped != 0 {
+		t.Fatalf("set = %d packets, %d incomplete, %d orphans, %d dropped",
+			len(set.Packets), set.Incomplete, set.Orphans, set.Dropped)
+	}
+	p := set.Packets[0]
+	if p.Src != 0 || p.Dst != 15 {
+		t.Fatalf("src->dst = %d->%d, want 0->15", p.Src, p.Dst)
+	}
+	// The span visits every router on the XY path, one hop each.
+	wantPath := n.Mesh().PathXY(0, 15)
+	if len(p.Hops) != len(wantPath) {
+		t.Fatalf("hops = %d, want %d (XY path)", len(p.Hops), len(wantPath))
+	}
+	for i, h := range p.Hops {
+		if h.Router != wantPath[i] {
+			t.Errorf("hop %d at router %d, want %d", i, h.Router, wantPath[i])
+		}
+		if h.Flits != 3 {
+			t.Errorf("hop %d saw %d flits, want 3", i, h.Flits)
+		}
+	}
+	// The span's latency is the NI-reported creation-to-ejection latency,
+	// which for the only measured packet is the collector's maximum.
+	if p.Latency != n.Stats().MaxLatency() {
+		t.Errorf("span latency %d, want %d", p.Latency, n.Stats().MaxLatency())
+	}
+	if p.NetworkLatency() == 0 || p.NetworkLatency() > p.Latency {
+		t.Errorf("network latency %d out of range (total %d)", p.NetworkLatency(), p.Latency)
+	}
+	// Hops are contiguous: the next route computation can happen no
+	// earlier than the cycle after the head's crossbar traversal.
+	for i := 1; i < len(p.Hops); i++ {
+		if p.Hops[i].Arrive <= p.Hops[i-1].SACycle {
+			t.Errorf("hop %d arrives at %d, before upstream switch grant %d",
+				i, p.Hops[i].Arrive, p.Hops[i-1].SACycle)
+		}
+	}
+}
+
+// TestSpansWorkerInvariant pins span reconstruction to the parallel
+// stepper's bit-exactness guarantee: the same workload traced at
+// Workers=1 and Workers=4 must reconstruct identical span sets, even
+// though the raw ring-buffer emission order differs.
+func TestSpansWorkerInvariant(t *testing.T) {
+	build := func(workers int) obs.SpanSet {
+		o := obs.New(1 << 18)
+		cfg := obsCfg(o)
+		cfg.Workers = workers
+		src := traffic.NewSynthetic(16, 0.02, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 11)
+		src.StopAt(400)
+		n := MustNew(cfg, src)
+		defer n.Close()
+		n.Run(400)
+		n.Drain(1200)
+		return n.Spans()
+	}
+	serial, parallel := build(1), build(4)
+	if len(serial.Packets) == 0 {
+		t.Fatal("no packets reconstructed")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("span sets diverged between worker counts: %d vs %d packets, %d vs %d incomplete",
+			len(serial.Packets), len(parallel.Packets), serial.Incomplete, parallel.Incomplete)
+	}
+	// Cross-check against endpoint statistics: every reconstructed packet
+	// count must be bounded by what the collector saw ejected.
+	n := uint64(len(serial.Packets))
+	if n == 0 || serial.Orphans != 0 || serial.Dropped != 0 {
+		t.Errorf("reconstruction lossy without ring wrap: %d packets, %d orphans, %d dropped",
+			n, serial.Orphans, serial.Dropped)
+	}
+}
+
+// TestSpansUnderFaults exercises reconstruction while the fault-tolerance
+// mechanisms are engaged, so spans carry borrow/bypass/secondary markers.
+func TestSpansUnderFaults(t *testing.T) {
+	o := obs.New(1 << 18)
+	src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 9)
+	src.StopAt(2000)
+	n := MustNew(obsCfg(o), src)
+	defer n.Close()
+	rt := n.Router(5)
+	rt.SetSA1Fault(topology.East, true)
+	rt.SetVA1Fault(topology.North, 0, true)
+	n.Run(2000)
+	n.Drain(4000)
+	set := n.Spans()
+	if len(set.Packets) == 0 {
+		t.Fatal("no packets reconstructed under faults")
+	}
+	var stalls, bypass int
+	for _, p := range set.Packets {
+		for _, h := range p.Hops {
+			stalls += h.BorrowStalls
+			bypass += h.BypassGrants
+		}
+	}
+	if stalls == 0 && bypass == 0 {
+		t.Error("fault mechanisms engaged but no span carries their markers")
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// tableRow finds the row of FormatPerRouter output whose first field is
+// label and returns its whitespace-split fields.
+func tableRow(t *testing.T, out, label string) []string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && f[0] == label {
+			return f
+		}
+	}
+	t.Fatalf("no %q row in:\n%s", label, out)
+	return nil
+}
+
+func TestFormatPerRouterTable(t *testing.T) {
+	m := NewMetrics()
+	key := func(k Kind, router int32, port int8) Key {
+		return Key{Kind: k, Router: router, Port: port, VC: NoVC}
+	}
+	m.Counter(key(KFlitsRouted, 0, 1)).Add(5)
+	m.Counter(key(KVA1Borrows, 0, NoPort)).Add(2)
+	m.Counter(key(KFaultsInjected, 0, NoPort)).Add(1)
+	m.Counter(key(KFaultsTransient, 0, NoPort)).Add(2)
+	// Router 2's flits are split across two ports; PerRouter must sum them.
+	m.Counter(key(KFlitsRouted, 2, 0)).Add(4)
+	m.Counter(key(KFlitsRouted, 2, 3)).Add(6)
+	m.Counter(key(KSABypassGrants, 2, 2)).Add(3)
+	// A network-global series (Router == -1) gets no row and must not
+	// leak into the totals either.
+	m.Counter(key(KFlitsRouted, -1, NoPort)).Add(99)
+
+	out := FormatPerRouter(m, 100)
+
+	// Column order: router flits util rc.dup va.borrow va.stall va.retry
+	// sa.byp sa.xfer xb.sec faults detect.
+	r0 := tableRow(t, out, "0")
+	if r0[1] != "5" || r0[2] != "0.050" {
+		t.Errorf("router 0 flits/util = %s/%s, want 5/0.050", r0[1], r0[2])
+	}
+	if r0[4] != "2" {
+		t.Errorf("router 0 va.borrow = %s, want 2", r0[4])
+	}
+	if r0[10] != "3" {
+		t.Errorf("router 0 faults = %s, want 3 (injected 1 + transient 2)", r0[10])
+	}
+	r2 := tableRow(t, out, "2")
+	if r2[1] != "10" || r2[2] != "0.100" {
+		t.Errorf("router 2 flits/util = %s/%s, want 10/0.100 (summed over ports)", r2[1], r2[2])
+	}
+	if r2[7] != "3" {
+		t.Errorf("router 2 sa.byp = %s, want 3", r2[7])
+	}
+	tot := tableRow(t, out, "total")
+	if tot[1] != "15" || tot[2] != "0.150" {
+		t.Errorf("totals flits/util = %s/%s, want 15/0.150 (global series excluded)", tot[1], tot[2])
+	}
+	if tot[4] != "2" || tot[7] != "3" || tot[10] != "3" {
+		t.Errorf("totals borrow/byp/faults = %s/%s/%s, want 2/3/3", tot[4], tot[7], tot[10])
+	}
+	if strings.Contains(out, "99") {
+		t.Errorf("network-global series leaked into the table:\n%s", out)
+	}
+	if strings.Contains(out, "-1") {
+		t.Errorf("router -1 got a row:\n%s", out)
+	}
+}
+
+func TestFormatPerRouterZeroCycles(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(Key{Kind: KFlitsRouted, Router: 1, Port: 0, VC: NoVC}).Add(7)
+	out := FormatPerRouter(m, 0)
+	r1 := tableRow(t, out, "1")
+	if r1[2] != "-" {
+		t.Errorf("utilization with unknown cycles = %q, want \"-\"", r1[2])
+	}
+	if tot := tableRow(t, out, "total"); tot[2] != "-" {
+		t.Errorf("totals utilization with unknown cycles = %q, want \"-\"", tot[2])
+	}
+}
+
+func TestUtil(t *testing.T) {
+	if got := util(5, 0); got != "-" {
+		t.Errorf("util(5, 0) = %q, want \"-\"", got)
+	}
+	if got := util(5, 100); got != "0.050" {
+		t.Errorf("util(5, 100) = %q, want \"0.050\"", got)
+	}
+	if got := util(0, 100); got != "0.000" {
+		t.Errorf("util(0, 100) = %q, want \"0.000\"", got)
+	}
+}

@@ -2,6 +2,12 @@
 // simulation: latency (creation to ejection, i.e. including source
 // queueing), network latency (injection to ejection), hop counts and
 // throughput, with a warmup window excluded from measurement.
+//
+// Latency is accumulated in fixed-bucket histograms (see Histogram), so
+// a collector's memory stays bounded over arbitrarily long campaigns
+// while still supporting distribution queries — p50/p95/p99 extraction,
+// Prometheus-style cumulative buckets for the telemetry layer, and a
+// bit-exact Merge for sweep fan-out.
 package stats
 
 import (
@@ -13,9 +19,38 @@ import (
 	"gonoc/internal/sim"
 )
 
+// IntPercentile returns the p-th percentile (0 < p <= 100) of values by
+// the nearest-rank method — the same semantics Histogram.Quantile uses —
+// or 0 with no values. The input is copied, not modified. Campaign
+// drivers use it for small per-trial populations (fault counts) that
+// don't warrant a histogram.
+func IntPercentile(values []int, p float64) int {
+	if len(values) == 0 {
+		return 0
+	}
+	s := make([]int, len(values))
+	copy(s, values)
+	sort.Ints(s)
+	rank := int(math.Ceil(float64(len(s)) * p / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
 // Collector accumulates per-packet statistics. Packets created before
 // Warmup are counted but excluded from latency measurement, the standard
 // methodology for steady-state NoC measurement.
+//
+// Warmup edge case: when every created packet predates the warmup cutoff
+// (Measured() == 0 — short runs, or a warmup longer than the run), all
+// latency statistics — averages, percentiles, extremes, class averages —
+// return 0 rather than NaN or an uninitialized extreme, so downstream
+// report formatting never has to special-case an empty measurement
+// window.
 type Collector struct {
 	// Warmup is the cycle before which created packets are not measured.
 	Warmup sim.Cycle
@@ -24,13 +59,19 @@ type Collector struct {
 	ejected  uint64
 	measured uint64
 
-	latSum  float64
-	netSum  float64
-	hopSum  float64
-	latMin  sim.Cycle
-	latMax  sim.Cycle
-	flits   uint64
-	samples []float64 // packet latencies, for percentiles
+	latSum float64
+	netSum float64
+	hopSum float64
+	latMin sim.Cycle
+	latMax sim.Cycle
+	flits  uint64
+
+	// lat and net hold the total (creation→ejection) and in-network
+	// (injection→ejection) latency distributions; classLat splits the
+	// total latency per message class.
+	lat      *Histogram
+	net      *Histogram
+	classLat [flit.NumClasses]*Histogram
 
 	byClass [flit.NumClasses]struct {
 		n      uint64
@@ -44,6 +85,19 @@ func NewCollector(warmup sim.Cycle) *Collector {
 	return &Collector{Warmup: warmup, latMin: math.MaxUint64}
 }
 
+// ensureHists lazily allocates the histograms, so a zero-value Collector
+// keeps working and an all-warmup run allocates nothing.
+func (c *Collector) ensureHists() {
+	if c.lat != nil {
+		return
+	}
+	c.lat = NewHistogram(nil)
+	c.net = NewHistogram(nil)
+	for i := range c.classLat {
+		c.classLat[i] = NewHistogram(nil)
+	}
+}
+
 // RecordCreation notes that a packet was offered to the network.
 func (c *Collector) RecordCreation(*flit.Packet) { c.created++ }
 
@@ -54,6 +108,7 @@ func (c *Collector) RecordEjection(p *flit.Packet) {
 	if p.CreatedAt < c.Warmup {
 		return
 	}
+	c.ensureHists()
 	lat := p.Latency()
 	c.measured++
 	c.latSum += float64(lat)
@@ -66,10 +121,12 @@ func (c *Collector) RecordEjection(p *flit.Packet) {
 	if lat > c.latMax {
 		c.latMax = lat
 	}
-	c.samples = append(c.samples, float64(lat))
+	c.lat.Observe(lat)
+	c.net.Observe(p.NetworkLatency())
 	if int(p.Class) < len(c.byClass) {
 		c.byClass[p.Class].n++
 		c.byClass[p.Class].latSum += float64(lat)
+		c.classLat[p.Class].Observe(lat)
 	}
 }
 
@@ -86,7 +143,8 @@ func (c *Collector) Measured() uint64 { return c.measured }
 func (c *Collector) InFlight() uint64 { return c.created - c.ejected }
 
 // AvgLatency returns the mean packet latency in cycles (creation to
-// ejection), or 0 with no measured packets.
+// ejection), or 0 with no measured packets (see the warmup edge case in
+// the Collector docs).
 func (c *Collector) AvgLatency() float64 {
 	if c.measured == 0 {
 		return 0
@@ -94,7 +152,8 @@ func (c *Collector) AvgLatency() float64 {
 	return c.latSum / float64(c.measured)
 }
 
-// AvgNetworkLatency returns the mean in-network latency in cycles.
+// AvgNetworkLatency returns the mean in-network latency in cycles, or 0
+// with no measured packets.
 func (c *Collector) AvgNetworkLatency() float64 {
 	if c.measured == 0 {
 		return 0
@@ -102,7 +161,8 @@ func (c *Collector) AvgNetworkLatency() float64 {
 	return c.netSum / float64(c.measured)
 }
 
-// ClassAvgLatency returns the mean latency of one message class.
+// ClassAvgLatency returns the mean latency of one message class, or 0
+// when no packet of that class was measured.
 func (c *Collector) ClassAvgLatency(cls flit.Class) float64 {
 	b := c.byClass[cls]
 	if b.n == 0 {
@@ -122,31 +182,145 @@ func (c *Collector) MinLatency() sim.Cycle {
 // MaxLatency returns the largest observed packet latency.
 func (c *Collector) MaxLatency() sim.Cycle { return c.latMax }
 
-// Percentile returns the p-th latency percentile (0 < p <= 100).
+// LatencyHist returns the total-latency histogram, or nil when no packet
+// has been measured yet.
+func (c *Collector) LatencyHist() *Histogram { return c.lat }
+
+// NetworkLatencyHist returns the in-network-latency histogram, or nil
+// when no packet has been measured yet.
+func (c *Collector) NetworkLatencyHist() *Histogram { return c.net }
+
+// ClassLatencyHist returns the total-latency histogram of one message
+// class, or nil when no packet has been measured yet.
+func (c *Collector) ClassLatencyHist(cls flit.Class) *Histogram {
+	if int(cls) >= len(c.classLat) {
+		return nil
+	}
+	return c.classLat[cls]
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100),
+// extracted from the latency histogram: exact for latencies with
+// one-cycle-wide buckets (up to 4096 cycles with the default bounds) and
+// bucket-resolution above. Returns 0 with no measured packets.
 func (c *Collector) Percentile(p float64) float64 {
-	if len(c.samples) == 0 {
+	if c.measured == 0 {
 		return 0
 	}
-	s := make([]float64, len(c.samples))
-	copy(s, c.samples)
-	sort.Float64s(s)
-	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
-	if idx < 0 {
-		idx = 0
+	return float64(c.lat.Quantile(p))
+}
+
+// NetworkPercentile is Percentile over the in-network latency
+// distribution.
+func (c *Collector) NetworkPercentile(p float64) float64 {
+	if c.measured == 0 {
+		return 0
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	return float64(c.net.Quantile(p))
+}
+
+// ClassPercentile is Percentile over one message class's latency
+// distribution.
+func (c *Collector) ClassPercentile(cls flit.Class, p float64) float64 {
+	h := c.ClassLatencyHist(cls)
+	if h == nil {
+		return 0
 	}
-	return s[idx]
+	return float64(h.Quantile(p))
 }
 
 // ThroughputFlits returns accepted flits per cycle over the measurement
-// interval ending at cycle end.
+// interval ending at cycle end, or 0 when end is inside the warmup
+// window (end <= Warmup would otherwise divide by zero).
 func (c *Collector) ThroughputFlits(end sim.Cycle) float64 {
 	if end <= c.Warmup {
 		return 0
 	}
 	return float64(c.flits) / float64(end-c.Warmup)
+}
+
+// Merge folds other's measurements into c, for aggregating per-worker
+// collectors after a sweep fan-out. The histogram and counter merges are
+// pure integer arithmetic — bit-exact in any merge order; the float
+// accumulators (latSum, class sums) are summed in call order, so merging
+// shards in a fixed order (e.g. sweep index order) keeps averages
+// deterministic too. The receivers' Warmup values are not reconciled;
+// each shard applies its own cutoff when recording.
+func (c *Collector) Merge(other *Collector) error {
+	if other == nil {
+		return nil
+	}
+	c.created += other.created
+	c.ejected += other.ejected
+	c.flits += other.flits
+	c.latSum += other.latSum
+	c.netSum += other.netSum
+	c.hopSum += other.hopSum
+	if other.measured > 0 {
+		if c.measured == 0 || other.latMin < c.latMin {
+			c.latMin = other.latMin
+		}
+		if other.latMax > c.latMax {
+			c.latMax = other.latMax
+		}
+		c.ensureHists()
+		if err := c.lat.Merge(other.lat); err != nil {
+			return err
+		}
+		if err := c.net.Merge(other.net); err != nil {
+			return err
+		}
+		for i := range c.classLat {
+			if err := c.classLat[i].Merge(other.classLat[i]); err != nil {
+				return err
+			}
+		}
+	}
+	c.measured += other.measured
+	for i := range c.byClass {
+		c.byClass[i].n += other.byClass[i].n
+		c.byClass[i].latSum += other.byClass[i].latSum
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of a collector's aggregates, safe to
+// publish to another goroutine (the live Collector is owned by the
+// simulation loop and is not synchronized — the telemetry layer captures
+// snapshots from a cycle hook, which runs in the serial phase of the
+// network step).
+type Snapshot struct {
+	Created  uint64 `json:"created"`
+	Ejected  uint64 `json:"ejected"`
+	Measured uint64 `json:"measured"`
+	InFlight uint64 `json:"in_flight"`
+
+	AvgLatency        float64 `json:"avg_latency"`
+	AvgNetworkLatency float64 `json:"avg_network_latency"`
+
+	// Latency and NetworkLatency carry the distribution state; Classes
+	// holds the per-message-class total-latency distributions, indexed
+	// by flit.Class.
+	Latency        HistogramSnapshot                  `json:"latency"`
+	NetworkLatency HistogramSnapshot                  `json:"network_latency"`
+	Classes        [flit.NumClasses]HistogramSnapshot `json:"classes"`
+}
+
+// Snapshot captures the collector's current aggregates.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Created: c.created, Ejected: c.ejected, Measured: c.measured,
+		InFlight:   c.InFlight(),
+		AvgLatency: c.AvgLatency(), AvgNetworkLatency: c.AvgNetworkLatency(),
+	}
+	if c.measured > 0 {
+		s.Latency = c.lat.Snapshot()
+		s.NetworkLatency = c.net.Snapshot()
+		for i := range c.classLat {
+			s.Classes[i] = c.classLat[i].Snapshot()
+		}
+	}
+	return s
 }
 
 // String implements fmt.Stringer.
@@ -157,8 +331,9 @@ func (c *Collector) String() string {
 // Summary renders every aggregate the collector holds as a multi-line
 // string. Two runs of the same simulation produce byte-identical
 // summaries — the floating-point accumulators are summed in ejection
-// order, which the network keeps canonical — so golden-determinism and
-// serial/parallel conformance tests compare Summary outputs directly.
+// order, which the network keeps canonical, and the histogram state is
+// integral — so golden-determinism and serial/parallel conformance tests
+// compare Summary outputs directly.
 func (c *Collector) Summary() string {
 	var b []byte
 	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
@@ -168,6 +343,9 @@ func (c *Collector) Summary() string {
 		c.AvgLatency(), c.AvgNetworkLatency(), c.MinLatency(), c.latMax)
 	app("latency p50 %v p95 %v p99 %v\n",
 		c.Percentile(50), c.Percentile(95), c.Percentile(99))
+	if c.measured > 0 {
+		app("hist count %d sum %d netsum %d\n", c.lat.Count(), c.lat.Sum(), c.net.Sum())
+	}
 	app("flits %d hopsum %v\n", c.flits, c.hopSum)
 	for cls := range c.byClass {
 		if c.byClass[cls].n == 0 {

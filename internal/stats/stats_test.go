@@ -160,6 +160,27 @@ func TestAllPacketsInWarmup(t *testing.T) {
 	if c.ClassAvgLatency(flit.Request) != 0 {
 		t.Errorf("class avg nonzero with no measured packets")
 	}
+	// ThroughputFlits at exactly the warmup cutoff must not divide by a
+	// zero-length interval.
+	if got := c.ThroughputFlits(1000); got != 0 {
+		t.Errorf("ThroughputFlits(warmup) = %v, want 0", got)
+	}
+	// Summary formats every statistic; with measured == 0 it must render
+	// zeros, never NaN.
+	if s := c.Summary(); strings.Contains(s, "NaN") {
+		t.Errorf("Summary contains NaN:\n%s", s)
+	}
+	// The average-latency methods return float64: assert the exact
+	// contract the docs promise — 0, not NaN, on an empty window.
+	for name, v := range map[string]float64{
+		"AvgLatency": c.AvgLatency(), "AvgNetworkLatency": c.AvgNetworkLatency(),
+		"Percentile(95)": c.Percentile(95), "NetworkPercentile(95)": c.NetworkPercentile(95),
+		"ClassPercentile": c.ClassPercentile(flit.Response, 99),
+	} {
+		if math.IsNaN(v) || v != 0 {
+			t.Errorf("%s = %v with measured == 0, want 0", name, v)
+		}
+	}
 }
 
 // TestSingleSamplePercentile checks every percentile collapses to the
@@ -239,6 +260,36 @@ func TestSummaryDeterministicAndComplete(t *testing.T) {
 	for _, want := range []string{"created 40", "latency avg", "p50", "flits", "class 0", "class 1"} {
 		if !strings.Contains(s1, want) {
 			t.Fatalf("summary missing %q:\n%s", want, s1)
+		}
+	}
+}
+
+func TestIntPercentile(t *testing.T) {
+	if got := IntPercentile(nil, 50); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	vals := []int{30, 10, 20, 50, 40, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int
+	}{{50, 50}, {95, 100}, {99, 100}, {100, 100}, {1, 10}, {10, 10}}
+	for _, tc := range cases {
+		if got := IntPercentile(vals, tc.p); got != tc.want {
+			t.Errorf("IntPercentile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	if vals[0] != 30 || vals[9] != 100 {
+		t.Error("IntPercentile mutated its input")
+	}
+	// Nearest-rank must agree with Histogram.Quantile on the same data.
+	h := NewHistogram(nil)
+	for _, v := range vals {
+		h.Observe(sim.Cycle(v))
+	}
+	for _, p := range []float64{1, 50, 95, 99, 100} {
+		if int(h.Quantile(p)) != IntPercentile(vals, p) {
+			t.Errorf("histogram and nearest-rank disagree at p%v", p)
 		}
 	}
 }

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/obs"
+	"gonoc/internal/stats"
+)
+
+// promName converts an obs.Kind series name ("sa.bypass_grants") to a
+// Prometheus metric name ("gonoc_sa_bypass_grants").
+func promName(k obs.Kind) string {
+	return "gonoc_" + strings.ReplaceAll(k.String(), ".", "_")
+}
+
+// keyLabels renders a sample key's label set. The -1 sentinels (network-
+// global series, inapplicable dimensions) drop the label entirely.
+func keyLabels(k obs.Key) string {
+	var parts []string
+	if k.Router >= 0 {
+		parts = append(parts, fmt.Sprintf("router=%q", fmt.Sprint(k.Router)))
+	}
+	if k.Port != obs.NoPort {
+		parts = append(parts, fmt.Sprintf("port=%q", fmt.Sprint(k.Port)))
+	}
+	if k.VC != obs.NoVC {
+		parts = append(parts, fmt.Sprintf("vc=%q", fmt.Sprint(k.VC)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// writeHistogram renders one stats.HistogramSnapshot as a Prometheus
+// histogram family. extraLabel is an optional `name="value"` pair added
+// to every series (the class label), or "".
+func writeHistogram(w io.Writer, name, help, extraLabel string, typed bool, h stats.HistogramSnapshot) {
+	if typed {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	lbl := func(le string) string {
+		parts := []string{}
+		if extraLabel != "" {
+			parts = append(parts, extraLabel)
+		}
+		if le != "" {
+			parts = append(parts, `le="`+le+`"`)
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	for _, b := range h.Buckets {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbl(fmt.Sprint(uint64(b.UpperBound))), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, lbl("+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, lbl(""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl(""), h.Count)
+}
+
+// writePrometheus renders the full exposition: run gauges, the latest
+// stats snapshot (packet counters and latency histograms), the live
+// observability registry and any campaign progress gauges.
+func (s *Server) writePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP gonoc_cycle Current simulation cycle.\n# TYPE gonoc_cycle gauge\ngonoc_cycle %d\n",
+		s.cycle.Load())
+
+	if snap := s.snap.Load(); snap != nil {
+		fmt.Fprintf(w, "# HELP gonoc_packets_created_total Packets offered to the network.\n"+
+			"# TYPE gonoc_packets_created_total counter\ngonoc_packets_created_total %d\n", snap.Created)
+		fmt.Fprintf(w, "# HELP gonoc_packets_ejected_total Packets delivered.\n"+
+			"# TYPE gonoc_packets_ejected_total counter\ngonoc_packets_ejected_total %d\n", snap.Ejected)
+		fmt.Fprintf(w, "# HELP gonoc_packets_measured_total Packets included in latency statistics (post-warmup).\n"+
+			"# TYPE gonoc_packets_measured_total counter\ngonoc_packets_measured_total %d\n", snap.Measured)
+		fmt.Fprintf(w, "# HELP gonoc_packets_in_flight Packets offered but not yet delivered.\n"+
+			"# TYPE gonoc_packets_in_flight gauge\ngonoc_packets_in_flight %d\n", snap.InFlight)
+
+		writeHistogram(w, "gonoc_packet_latency_cycles",
+			"Creation-to-ejection packet latency distribution, in cycles.",
+			`class="all"`, true, snap.Latency)
+		for cls := 0; cls < flit.NumClasses; cls++ {
+			writeHistogram(w, "gonoc_packet_latency_cycles", "",
+				fmt.Sprintf("class=%q", flit.Class(cls).String()), false, snap.Classes[cls])
+		}
+		writeHistogram(w, "gonoc_network_latency_cycles",
+			"Injection-to-ejection packet latency distribution, in cycles.",
+			"", true, snap.NetworkLatency)
+	}
+
+	if s.metrics != nil {
+		samples := s.metrics.Snapshot()
+		// Group into families: one HELP/TYPE block per kind, series in
+		// the registry's canonical (router, port, vc) order.
+		byKind := map[obs.Kind][]obs.Sample{}
+		for _, sm := range samples {
+			byKind[sm.Key.Kind] = append(byKind[sm.Key.Kind], sm)
+		}
+		for k := obs.Kind(0); int(k) < obs.NumKinds; k++ {
+			fam := byKind[k]
+			if len(fam) == 0 {
+				continue
+			}
+			name := promName(k)
+			typ := "counter"
+			if fam[0].IsGauge {
+				typ = "gauge"
+			} else {
+				name += "_total"
+			}
+			fmt.Fprintf(w, "# HELP %s Simulator %s series %q (%s stage).\n# TYPE %s %s\n",
+				name, typ, k.String(), k.Stage(), name, typ)
+			for _, sm := range fam {
+				fmt.Fprintf(w, "%s%s %d\n", name, keyLabels(sm.Key), sm.Value)
+			}
+		}
+	}
+
+	if names, by := s.progressSorted(); len(names) > 0 {
+		fmt.Fprintf(w, "# HELP gonoc_progress_done Completed units of a long-running task.\n"+
+			"# TYPE gonoc_progress_done gauge\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "gonoc_progress_done{task=%q} %d\n", n, by[n].Done)
+		}
+		fmt.Fprintf(w, "# HELP gonoc_progress_total Total units of a long-running task.\n"+
+			"# TYPE gonoc_progress_total gauge\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "gonoc_progress_total{task=%q} %d\n", n, by[n].Total)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package telemetry exposes a running simulation's state over HTTP for
+// long-running sims and campaigns: a Prometheus-text-format /metrics
+// endpoint (observability counters and gauges, latency histogram
+// buckets, in-flight gauges) and a JSON /status snapshot.
+//
+// # Safety against the parallel stepper
+//
+// Two data sources feed a scrape, with different synchronization rules:
+//
+//   - obs.Metrics is safe to read live from any goroutine — counters and
+//     gauges are atomics and registry resolution is locked — so /metrics
+//     reads it directly and a scrape always sees up-to-date counters,
+//     even mid-Step.
+//   - stats.Collector is owned by the simulation loop and is not
+//     synchronized. The server therefore never touches a live collector:
+//     the simulation publishes immutable stats.Snapshot values from a
+//     cycle hook (noc cycle hooks run in Step's serial pre-phase, on the
+//     Run goroutine), and scrapes load the latest snapshot through an
+//     atomic pointer.
+//
+// This split is what makes scraping safe while the network steps in
+// parallel (noc.Config.Workers > 1); the race-detector test pins it.
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gonoc/internal/noc"
+	"gonoc/internal/obs"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+)
+
+// Progress is one long-running task's completion state, shown by
+// campaign drivers (trials done out of total).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Server holds the state the HTTP endpoints render. The zero value is
+// not usable; call NewServer.
+type Server struct {
+	metrics *obs.Metrics
+	snap    atomic.Pointer[stats.Snapshot]
+	cycle   atomic.Uint64
+
+	mu       sync.Mutex
+	progress map[string]Progress
+}
+
+// NewServer returns a server rendering the given metrics registry
+// (nil when the simulation runs without observability — the registry
+// section of /metrics is then empty).
+func NewServer(m *obs.Metrics) *Server {
+	return &Server{metrics: m, progress: map[string]Progress{}}
+}
+
+// Publish makes st the snapshot served by /metrics and /status. Call it
+// from the simulation goroutine (e.g. a noc cycle hook); scrapes on
+// other goroutines observe it atomically.
+func (s *Server) Publish(st stats.Snapshot) { s.snap.Store(&st) }
+
+// SetCycle updates the current-cycle gauge.
+func (s *Server) SetCycle(c sim.Cycle) { s.cycle.Store(uint64(c)) }
+
+// SetProgress updates a named task's completion gauge pair, for
+// campaign drivers reporting trials done out of total.
+func (s *Server) SetProgress(name string, done, total int) {
+	s.mu.Lock()
+	s.progress[name] = Progress{Done: done, Total: total}
+	s.mu.Unlock()
+}
+
+// progressSorted returns the progress entries in name order.
+func (s *Server) progressSorted() (names []string, by map[string]Progress) {
+	s.mu.Lock()
+	by = make(map[string]Progress, len(s.progress))
+	for k, v := range s.progress {
+		by[k] = v
+	}
+	s.mu.Unlock()
+	names = make([]string, 0, len(by))
+	for k := range by {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names, by
+}
+
+// Status is the /status JSON document.
+type Status struct {
+	// Cycle is the simulation cycle most recently reported.
+	Cycle uint64 `json:"cycle"`
+	// Stats is the latest published collector snapshot, if any.
+	Stats *stats.Snapshot `json:"stats,omitempty"`
+	// Progress holds the campaign progress gauges, if any.
+	Progress map[string]Progress `json:"progress,omitempty"`
+}
+
+// Handler returns the HTTP handler: GET /metrics (Prometheus text
+// exposition) and GET /status (JSON).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st := Status{Cycle: s.cycle.Load(), Stats: s.snap.Load()}
+		if names, by := s.progressSorted(); len(names) > 0 {
+			st.Progress = by
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	return mux
+}
+
+// Attach wires the server to a network: a cycle hook publishes a fresh
+// stats snapshot every `every` cycles (and keeps the cycle gauge
+// current). Hooks run in Step's serial pre-phase on the simulation
+// goroutine — the only place the unsynchronized stats.Collector may be
+// read — so attaching is safe at any Workers setting. every == 0
+// selects a sensible default.
+func Attach(s *Server, n *noc.Network, every sim.Cycle) {
+	if every == 0 {
+		every = 1 << 10
+	}
+	n.AddHook(func(c sim.Cycle) {
+		s.SetCycle(c)
+		if c%every == 0 {
+			s.Publish(n.Stats().Snapshot())
+		}
+	})
+}
+
+// ListenAndServe binds addr synchronously and then serves h in the
+// background. Binding before returning means a bad or already-used
+// address fails here, before the simulation starts, instead of racing a
+// goroutine's error against the run (the noctool -pprof listener had
+// exactly that bug). A nil handler serves http.DefaultServeMux — which
+// is where net/http/pprof registers — and the returned address resolves
+// ":0" to the actual port.
+func ListenAndServe(addr string, h http.Handler) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, h) }()
+	return ln.Addr(), nil
+}
