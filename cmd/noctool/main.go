@@ -48,7 +48,9 @@ func main() {
 		// Bind synchronously so a bad address fails here, before the
 		// command runs; the nil handler serves http.DefaultServeMux,
 		// where net/http/pprof registers.
-		addr, err := telemetry.ListenAndServe(*pprofAddr, nil)
+		// The pprof listener lives for the whole process; its shutdown
+		// handle is intentionally discarded.
+		addr, _, err := telemetry.ListenAndServe(*pprofAddr, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "noctool: pprof server: %v\n", err)
 			os.Exit(1)
@@ -133,9 +135,19 @@ global flags (before the command):
   -pprof addr   serve net/http/pprof on addr (e.g. -pprof :6060)
 
 sim, serve, metrics, spans and trace accept -inject with comma-separated
-fault specs <router>:<kind>:<port>[:<vc>], e.g. -inject 5:sa1:e,0:va1:n:2;
+fault specs <router>:<kind>[:<port>[:<vc>]], e.g. -inject 5:sa1:e,0:va1:n:2;
 kinds are rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports
-l,n,e,s,w.
+l,n,e,s,w. Two network-level kinds kill whole links or routers: link
+(needs a mesh direction, e.g. 5:link:e — the link is dead both ways) and
+router (no port, e.g. 10:router). Traffic reroutes around network faults
+via deadlock-free two-layer turn-model routing; pair with -retx-timeout
+(plus -retx-retries / -retx-buffer) to recover lost packets end-to-end
+and watch the delivery ratio, reroute and retransmit counters in the
+metrics output.
+
+campaign -inject <specs> runs the network-fault delivery campaign (one
+scenario per spec plus a fault-free baseline) instead of the Monte-Carlo
+faults-to-failure table.
 
 The simulation commands and campaign accept -workers to bound
 parallelism: for the simulation commands it shards each cycle's compute
@@ -166,6 +178,8 @@ func runCampaign(args []string) error {
 	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "designs campaigned in parallel (0 = all cores)")
+	inject := fs.String("inject", "", "comma-separated fault specs (e.g. 5:link:e,10:router): "+
+		"run the network-fault delivery campaign over these scenarios instead of the Monte-Carlo table")
 	telemetryAddr := fs.String("telemetry", "",
 		"serve live per-design trial progress on this address for the duration of the campaign")
 	if err := fs.Parse(args); err != nil {
@@ -174,12 +188,26 @@ func runCampaign(args []string) error {
 	var onTrial func(design string, done, total int)
 	if *telemetryAddr != "" {
 		srv := telemetry.NewServer(nil)
-		addr, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
+		addr, shutdown, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
 		if err != nil {
 			return err
 		}
+		defer shutdown()
 		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics (status on /status)\n", addr)
 		onTrial = srv.SetProgress
+	}
+	if *inject != "" {
+		// Network-fault delivery campaign: one scenario per spec plus the
+		// fault-free baseline, each run to drain with retransmission on.
+		cfg := experiments.DefaultLinkFaultConfig()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		scenarios, err := experiments.ScenariosFromSpecs(*inject)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatLinkFault(experiments.LinkFaultStudy(cfg, scenarios)))
+		return nil
 	}
 	fmt.Print(experiments.FormatCampaign(experiments.CampaignTableObserved(*trials, *seed, *workers, onTrial)))
 	return nil
@@ -220,6 +248,9 @@ type simFlags struct {
 	baseline      *bool
 	inject        *string
 	workers       *int
+	retxTimeout   *uint64
+	retxRetries   *int
+	retxBuffer    *int
 }
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
@@ -234,9 +265,15 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 		faultMean: fs.Uint64("fault-mean", 0, "mean cycles between random faults (0 = none)"),
 		baseline:  fs.Bool("baseline", false, "use the unprotected baseline router"),
 		inject: fs.String("inject", "", "comma-separated fault specs "+
-			"<router>:<kind>:<port>[:<vc>] applied at cycle 0 (see noctool help)"),
+			"<router>:<kind>[:<port>[:<vc>]] applied at cycle 0 (see noctool help)"),
 		workers: fs.Int("workers", 0,
 			"worker goroutines sharding each cycle's compute phase (0 = all cores, 1 = serial; results are identical)"),
+		retxTimeout: fs.Uint64("retx-timeout", 0,
+			"end-to-end retransmission timeout in cycles (0 = retransmission off)"),
+		retxRetries: fs.Int("retx-retries", 0,
+			"max retransmissions per packet (0 = default 8; needs -retx-timeout)"),
+		retxBuffer: fs.Int("retx-buffer", 0,
+			"retransmission buffer entries per source NI (0 = default 32; needs -retx-timeout)"),
 	}
 }
 
@@ -269,6 +306,11 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 	n, err := noc.New(noc.Config{
 		Width: *sf.width, Height: *sf.height, Router: rc, Warmup: sim.Cycle(*sf.warmup),
 		Workers: *sf.workers,
+		Retx: noc.RetxConfig{
+			Timeout:    sim.Cycle(*sf.retxTimeout),
+			MaxRetries: *sf.retxRetries,
+			Buffer:     *sf.retxBuffer,
+		},
 	}, src)
 	if err != nil {
 		return nil, err
@@ -281,7 +323,9 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 		if r >= mesh.Nodes() {
 			return nil, fmt.Errorf("fault spec router %d outside the %d-node mesh", r, mesh.Nodes())
 		}
-		fault.Apply(n.Router(r), sites[i], true)
+		if err := fault.ApplyNetwork(n, r, sites[i], true); err != nil {
+			return nil, err
+		}
 		o.RecordFault(obs.KFaultsInjected, obs.EvFaultInject, 0, r,
 			int(sites[i].Port), sites[i].Index, int32(sites[i].Kind.Stage()), sites[i].String())
 	}
@@ -320,7 +364,10 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 	if *telemetryAddr != "" {
 		srv = telemetry.NewServer(o.Metrics)
 		telemetry.Attach(srv, n, 0)
-		addr, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
+		// The endpoint outlives the run on purpose: the final snapshot
+		// stays scrapeable until the process exits, so a dashboard (or
+		// TestSimTelemetryScrape) can read the end state after Run returns.
+		addr, _, err := telemetry.ListenAndServe(*telemetryAddr, srv.Handler())
 		if err != nil {
 			return err
 		}
@@ -339,6 +386,10 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 	fmt.Printf("cycles:        %d\n", n.Now())
 	fmt.Printf("packets:       %d created, %d delivered, %d in flight\n",
 		st.Created(), st.Ejected(), st.InFlight())
+	if st.Dropped()+st.Retransmits()+st.Duplicates() > 0 {
+		fmt.Printf("reliability:   delivery ratio %.4f (%d dropped, %d retransmitted, %d duplicates suppressed)\n",
+			st.DeliveryRatio(), st.Dropped(), st.Retransmits(), st.Duplicates())
+	}
 	fmt.Printf("avg latency:   %.2f cycles (network %.2f)\n", st.AvgLatency(), st.AvgNetworkLatency())
 	fmt.Printf("p50/p95/p99:   %.0f / %.0f / %.0f cycles\n",
 		st.Percentile(50), st.Percentile(95), st.Percentile(99))
@@ -387,10 +438,13 @@ func serveSim(args []string, onReady func(net.Addr), stop <-chan struct{}) error
 	defer n.Close()
 	srv := telemetry.NewServer(o.Metrics)
 	telemetry.Attach(srv, n, sim.Cycle(*interval))
-	bound, err := telemetry.ListenAndServe(*addr, srv.Handler())
+	bound, shutdown, err := telemetry.ListenAndServe(*addr, srv.Handler())
 	if err != nil {
 		return err
 	}
+	// Graceful teardown on every exit path (including SIGINT): in-flight
+	// scrapes finish and the port is released before the process exits.
+	defer shutdown()
 	fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics (status on /status)\n", bound)
 	if onReady != nil {
 		onReady(bound)
@@ -477,6 +531,8 @@ func runMetrics(args []string) error {
 	fmt.Print(obs.FormatPerRouter(o.Metrics, uint64(n.Now())))
 	fmt.Printf("\npackets:    %d created, %d delivered, %d in flight\n",
 		st.Created(), st.Ejected(), st.InFlight())
+	fmt.Printf("delivery:   ratio %.4f (%d dropped, %d retransmitted, %d duplicates suppressed)\n",
+		st.DeliveryRatio(), st.Dropped(), st.Retransmits(), st.Duplicates())
 	fmt.Printf("latency:    avg %.2f cycles, p95 %.0f\n", st.AvgLatency(), st.Percentile(95))
 	fmt.Printf("functional: %v\n", n.Functional())
 	return nil

@@ -1,0 +1,104 @@
+// Linkfault demonstrates the network-level fault model end to end: a
+// 4x4 mesh under uniform traffic loses a link (and later a whole
+// router) mid-run, fault-aware two-layer turn-model routing detours the
+// live traffic, and the NIs' end-to-end retransmission layer wins back
+// the packets that were in flight when the hardware died — finishing
+// with a 1.0000 delivery ratio despite both faults.
+package main
+
+import (
+	"fmt"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/noc"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+	"gonoc/internal/traffic"
+)
+
+const (
+	stop     = 4000
+	linkAt   = 1000
+	routerAt = 2500
+	linkSrc  = 5  // router 5's East link dies first
+	deadNode = 10 // then router 10 dies outright
+)
+
+func main() {
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	src := traffic.NewSynthetic(16, 0.04, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), 2014)
+	src.StopAt(stop)
+	n := noc.MustNew(noc.Config{
+		Width: 4, Height: 4, Router: rc,
+		// Retransmit after 300 quiet cycles, doubling the wait each retry.
+		Retx: noc.RetxConfig{Timeout: 300},
+	}, &avoid{inner: src, node: deadNode})
+	defer n.Close()
+
+	n.AddHook(func(c sim.Cycle) {
+		switch c {
+		case linkAt:
+			must(n.SetLinkFault(linkSrc, topology.East, true))
+			fmt.Printf("cycle %4d: link %d:e died — traffic detours around it\n", c, linkSrc)
+		case routerAt:
+			must(n.SetRouterFault(deadNode, true))
+			fmt.Printf("cycle %4d: router %d died — all four of its links are gone\n", c, deadNode)
+		}
+	})
+
+	fmt.Println("4x4 mesh, uniform traffic, retransmission timeout 300 cycles")
+	n.Run(stop)
+	if !n.Drain(stop + 100000) {
+		fmt.Printf("network did not drain: %d packets in flight\n", n.Stats().InFlight())
+		return
+	}
+	st := n.Stats()
+	var reroutes uint64
+	for id := 0; id < 16; id++ {
+		reroutes += n.Router(id).Counters.Reroutes
+	}
+	fmt.Printf("\nafter drain at cycle %d:\n", n.Now())
+	fmt.Printf("  offered:      %d packets (+%d retransmitted copies)\n",
+		st.Created()-st.Retransmits(), st.Retransmits())
+	fmt.Printf("  delivered:    %d (delivery ratio %.4f)\n", st.Ejected(), st.DeliveryRatio())
+	fmt.Printf("  lost copies:  %d dropped at faults, %d duplicates suppressed at sinks\n",
+		st.Dropped(), st.Duplicates())
+	fmt.Printf("  reroutes:     %d RC decisions deviated from XY to dodge the faults\n", reroutes)
+	fmt.Printf("  avg latency:  %.2f cycles (p99 %.0f — recovery cost lives in the tail)\n",
+		st.AvgLatency(), st.Percentile(99))
+}
+
+// avoid keeps the workload off the router that is scheduled to die, so
+// every offered packet stays deliverable and the final ratio is exactly
+// 1. Packets merely routed *through* the dying node are still lost and
+// recovered — that is the interesting part.
+type avoid struct {
+	inner noc.Traffic
+	node  int
+}
+
+func (a *avoid) Offered(node int, c sim.Cycle) []*flit.Packet {
+	if node == a.node {
+		return nil
+	}
+	ps := a.inner.Offered(node, c)
+	kept := ps[:0]
+	for _, p := range ps {
+		if p.Dst != a.node {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+func (a *avoid) OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet {
+	return a.inner.OnEject(p, c)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -48,7 +48,17 @@ func (r *Router) rcStage(cy sim.Cycle) {
 			if q.G != vc.Routing || !headReady(q) {
 				continue
 			}
-			out, ok := r.computeRoute(p, q)
+			out, ok, unreachable := r.computeRoute(cy, p, q)
+			if unreachable {
+				// Network faults cut every remaining path to the
+				// destination: discard the packet. The drain stage frees
+				// the buffered flits one per cycle, returning credits
+				// upstream, until the tail releases the VC.
+				q.G = vc.Dropping
+				r.droppedPkts = append(r.droppedPkts, q.Front().Pkt)
+				r.rcScan[p] = (idx + 1) % r.cfg.VCs
+				break
+			}
 			if !ok {
 				// No fault-free RC copy: the packet is stuck. The router
 				// is no longer Functional(); leave the VC in Routing.
@@ -74,16 +84,58 @@ func (r *Router) rcStage(cy sim.Cycle) {
 	}
 }
 
-// computeRoute runs the port's RC unit, tracking duplicate use.
-func (r *Router) computeRoute(p int, q *vc.VC) (topology.Port, bool) {
+// computeRoute runs the port's RC unit, tracking duplicate use. With a
+// fault-aware route function installed the unit computes that function
+// instead of XY (unreachable=true when no path to the destination
+// survives); without one the behavior is exactly the baseline XY lookup.
+func (r *Router) computeRoute(cy sim.Cycle, p int, q *vc.VC) (out topology.Port, ok, unreachable bool) {
 	u := r.rc[p]
 	if !u.Usable() {
-		return topology.Local, false
+		return topology.Local, false, false
 	}
 	if u.Faulty(0) {
 		r.Counters.RCDuplicateUses++
 	}
-	return u.Compute(r.ID, q.Front().Pkt.Dst)
+	dst := q.Front().Pkt.Dst
+	if fn := r.routeFn; fn != nil {
+		fout, lo, hi, fok := fn(r.ID, topology.Port(p), q.Index, dst)
+		if !fok {
+			return topology.Local, false, true
+		}
+		q.DvcLo, q.DvcHi = lo, hi
+		if r.ID != dst && fout != r.mesh.RouteXY(r.ID, dst) {
+			r.Counters.Reroutes++
+			if o := r.obs; o != nil {
+				o.Reroute(cy, p, q.Index, int(fout))
+			}
+		}
+		return fout, true, false
+	}
+	out, ok = u.Compute(r.ID, dst)
+	return out, ok, false
+}
+
+// drainStage discards one buffered flit per Dropping VC per cycle,
+// returning the credit (and on the tail, the VC-free signal) upstream so
+// the upstream router's flow control unwinds exactly as if the flits had
+// been forwarded.
+func (r *Router) drainStage() {
+	for p := 0; p < r.cfg.Ports; p++ {
+		for _, q := range r.in[p].VCs {
+			if q.G != vc.Dropping || q.Empty() {
+				continue
+			}
+			f := q.Pop()
+			r.outCredits = append(r.outCredits, router.Credit{
+				In:     topology.Port(p),
+				VC:     q.CreditHome,
+				VCFree: f.Kind.IsTail(),
+			})
+			if f.Kind.IsTail() {
+				q.ResetPacketState()
+			}
+		}
+	}
 }
 
 // primaryPathUsable reports whether output port out's regular path — its
@@ -159,6 +211,11 @@ func (r *Router) vaStage(cy sim.Cycle) {
 			out := int(q.R)
 			cls := r.cfg.ClassOf(v)
 			lo, hi := r.cfg.ClassRange(cls)
+			if q.DvcLo < q.DvcHi {
+				// Fault-aware routing pinned the packet to a downstream
+				// VC layer; allocate only inside it.
+				lo, hi = q.DvcLo, q.DvcHi
+			}
 			reqs := r.reqBuf[:r.cfg.VCs]
 			for i := range reqs {
 				reqs[i] = false

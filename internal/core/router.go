@@ -51,6 +51,15 @@ type CreditIn struct {
 	VCFree bool
 }
 
+// RouteFn overrides the per-hop routing computation with a network-level
+// fault-aware function. It receives the current router, the input port
+// the packet occupies (Local for freshly injected packets), the input VC
+// index and the destination, and returns the output port plus the
+// downstream VC range [dvcLo, dvcHi) the packet must allocate from (the
+// deadlock-avoidance layer). ok=false means no path to the destination
+// survives the current fault set; the router then discards the packet.
+type RouteFn func(cur int, in topology.Port, vcIdx int, dst int) (out topology.Port, dvcLo, dvcHi int, ok bool)
+
 // grant is one switch-allocation winner, executed by the crossbar stage
 // the following cycle.
 type grant struct {
@@ -83,6 +92,10 @@ type Counters struct {
 	SATransfers uint64
 	// XBSecondary counts crossbar traversals through the secondary path.
 	XBSecondary uint64
+	// Reroutes counts routing computations where the fault-aware route
+	// function diverged from dimension-ordered XY to detour around a dead
+	// link or router.
+	Reroutes uint64
 }
 
 // Router is a P-port, V-VC, 4-stage pipelined wormhole router with
@@ -134,6 +147,13 @@ type Router struct {
 	// flat input-VC indices (p*V + v). Reused across cycles.
 	va2req [][][]int
 	reqBuf []bool // scratch request vector, len = Ports*VCs
+
+	// routeFn, when non-nil, replaces the RC units' XY computation with a
+	// network-level fault-aware function (see RouteFn).
+	routeFn RouteFn
+	// droppedPkts collects packets whose destination routing declared
+	// unreachable this cycle; the network drains them via TakeDropped.
+	droppedPkts []*flit.Packet
 
 	// Counters tallies mechanism activity.
 	Counters Counters
@@ -209,6 +229,20 @@ func (r *Router) AcceptFlit(f router.InFlit) { r.inFlits = append(r.inFlits, f) 
 // AcceptCredit delivers a credit to the output-side latch.
 func (r *Router) AcceptCredit(c CreditIn) { r.inCredits = append(r.inCredits, c) }
 
+// SetRouteFn installs (or with nil, removes) a network-level fault-aware
+// routing function that overrides the RC units' XY computation.
+func (r *Router) SetRouteFn(fn RouteFn) { r.routeFn = fn }
+
+// TakeDropped drains and returns the packets whose destination the
+// routing function declared unreachable this cycle. Each such packet's
+// buffered flits are discarded by the drain stage over the following
+// cycles; the packet itself is reported exactly once, here.
+func (r *Router) TakeDropped() []*flit.Packet {
+	o := r.droppedPkts
+	r.droppedPkts = nil
+	return o
+}
+
 // TakeOutFlits drains and returns the flits that left the router this
 // cycle.
 func (r *Router) TakeOutFlits() []router.OutFlit {
@@ -246,6 +280,7 @@ func (r *Router) FreeOutVCs(p topology.Port, cls int) int {
 // exactly the paper's Figure 2.
 func (r *Router) Tick(cy sim.Cycle) {
 	r.acceptInputs()
+	r.drainStage()
 	r.xbStage(cy)
 	r.saStage(cy)
 	r.vaStage(cy)

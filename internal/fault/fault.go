@@ -38,6 +38,17 @@ const (
 	// XBSecondary is one output's secondary crossbar path (demux + Pk).
 	XBSecondary
 
+	// LinkDead is a failed inter-router link. Link faults are
+	// network-level: they live outside any single router, so they are
+	// injected with ApplyNetwork (not Apply) and are excluded from
+	// Sites(). A dead link is bidirectional — both the flit channel and
+	// the returning credit channel are severed.
+	LinkDead
+	// RouterDead is a completely failed router: all four of its mesh
+	// links are dead and its NI neither injects nor ejects. Like
+	// LinkDead it is network-level and applied with ApplyNetwork.
+	RouterDead
+
 	numKinds
 )
 
@@ -46,6 +57,7 @@ func (k Kind) String() string {
 	names := [...]string{
 		"RC primary", "RC duplicate", "VA1 arbiter set", "VA2 arbiter",
 		"SA1 arbiter", "SA1 bypass", "SA2 arbiter", "XB mux", "XB secondary",
+		"link dead", "router dead",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -77,6 +89,12 @@ func (k Kind) Correction() bool {
 	return false
 }
 
+// Network reports whether the kind is a network-level fault (a dead link
+// or router) rather than a site inside one router's pipeline. Network
+// kinds are injected with ApplyNetwork, never Apply, and never appear in
+// Sites().
+func (k Kind) Network() bool { return k == LinkDead || k == RouterDead }
+
 // Site is one injectable fault site in a router.
 type Site struct {
 	// Kind is the component class.
@@ -94,6 +112,8 @@ func (s Site) String() string {
 	switch s.Kind {
 	case VA1ArbSet, VA2Arb:
 		return fmt.Sprintf("%v %v/vc%d", s.Kind, s.Port, s.Index)
+	case RouterDead:
+		return s.Kind.String()
 	default:
 		return fmt.Sprintf("%v %v", s.Kind, s.Port)
 	}
@@ -128,8 +148,13 @@ func Sites(cfg router.Config) []Site {
 }
 
 // Apply injects (or with value false, repairs) the fault at site s in
-// router r.
+// router r. Network-level kinds (LinkDead, RouterDead) cannot be applied
+// to a single router and panic; use ApplyNetwork for those.
 func Apply(r *core.Router, s Site, value bool) {
+	switch s.Kind {
+	case LinkDead, RouterDead:
+		panic(fmt.Sprintf("fault: %v is a network-level fault; use ApplyNetwork", s.Kind))
+	}
 	switch s.Kind {
 	case RCPrimary:
 		r.SetRCFault(s.Port, 0, value)

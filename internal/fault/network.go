@@ -1,0 +1,29 @@
+package fault
+
+import (
+	"fmt"
+
+	"gonoc/internal/noc"
+)
+
+// ApplyNetwork injects (or with value false, repairs) site s at router
+// routerID in a live network. The network-level kinds are dispatched to
+// the network's link/router fault state — which activates fault-aware
+// routing and, for packets already heading into the failure, produces
+// link drops the NI retransmission layer recovers — and every in-router
+// kind falls through to Apply on the target router.
+func ApplyNetwork(n *noc.Network, routerID int, s Site, value bool) error {
+	mesh := n.Mesh()
+	if routerID < 0 || routerID >= mesh.Nodes() {
+		return fmt.Errorf("fault: router %d outside %dx%d mesh", routerID, mesh.W, mesh.H)
+	}
+	switch s.Kind {
+	case LinkDead:
+		return n.SetLinkFault(routerID, s.Port, value)
+	case RouterDead:
+		return n.SetRouterFault(routerID, value)
+	default:
+		Apply(n.Router(routerID), s, value)
+		return nil
+	}
+}

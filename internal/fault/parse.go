@@ -12,6 +12,8 @@ import (
 // -inject flags:
 //
 //	<router>:<kind>:<port>[:<index>]
+//	<router>:link:<port>
+//	<router>:router
 //
 // router is a node id; kind is one of the mnemonics below; port is a
 // compass letter (l, n, e, s, w) or a numeric port id; index is the VC
@@ -23,6 +25,13 @@ import (
 //	sa1     SA1Arb          sa1byp  SA1Bypass
 //	sa2     SA2Arb
 //	xb      XBMux           xbsec   XBSecondary
+//	link    LinkDead        router  RouterDead
+//
+// The network-level kinds name a dead inter-router link ("3:link:n" —
+// the link leaving router 3 northward, severed in both directions; the
+// port must be a compass direction, never l) and a completely dead
+// router ("5:router" — the only two-field form). They are applied with
+// ApplyNetwork rather than Apply.
 //
 // Examples: "5:sa1:e" (SA1 arbiter, router 5, East input),
 // "0:va1:n:2" (VA1 arbiter set of North VC 2, router 0).
@@ -36,6 +45,8 @@ var kindNames = map[string]Kind{
 	"sa2":    SA2Arb,
 	"xb":     XBMux,
 	"xbsec":  XBSecondary,
+	"link":   LinkDead,
+	"router": RouterDead,
 }
 
 var portNames = map[string]topology.Port{
@@ -53,7 +64,7 @@ func perVC(k Kind) bool { return k == VA1ArbSet || k == VA2Arb }
 // returns the target router id and fault site.
 func ParseInjection(spec string) (router int, site Site, err error) {
 	fields := strings.Split(spec, ":")
-	if len(fields) < 3 || len(fields) > 4 {
+	if len(fields) < 2 || len(fields) > 4 {
 		return 0, Site{}, fmt.Errorf("fault spec %q: want <router>:<kind>:<port>[:<index>]", spec)
 	}
 	router, err = strconv.Atoi(fields[0])
@@ -62,9 +73,18 @@ func ParseInjection(spec string) (router int, site Site, err error) {
 	}
 	kind, ok := kindNames[strings.ToLower(fields[1])]
 	if !ok {
-		return 0, Site{}, fmt.Errorf("fault spec %q: unknown kind %q (want rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb or xbsec)", spec, fields[1])
+		return 0, Site{}, fmt.Errorf("fault spec %q: unknown kind %q (want rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec, link or router)", spec, fields[1])
 	}
 	site.Kind = kind
+	if kind == RouterDead {
+		if len(fields) != 2 {
+			return 0, Site{}, fmt.Errorf("fault spec %q: kind %q takes no port or index", spec, fields[1])
+		}
+		return router, site, nil
+	}
+	if len(fields) < 3 {
+		return 0, Site{}, fmt.Errorf("fault spec %q: kind %q needs a port", spec, fields[1])
+	}
 	if p, ok := portNames[strings.ToLower(fields[2])]; ok {
 		site.Port = p
 	} else {
@@ -73,6 +93,9 @@ func ParseInjection(spec string) (router int, site Site, err error) {
 			return 0, Site{}, fmt.Errorf("fault spec %q: bad port %q (want l, n, e, s, w or a port id)", spec, fields[2])
 		}
 		site.Port = topology.Port(n)
+	}
+	if kind == LinkDead && (site.Port < topology.North || site.Port > topology.West) {
+		return 0, Site{}, fmt.Errorf("fault spec %q: link port must be a mesh direction (n, e, s or w)", spec)
 	}
 	switch {
 	case perVC(kind) && len(fields) != 4:
@@ -107,6 +130,15 @@ func FormatInjection(router int, site Site) (string, error) {
 	}
 	if kind == "" {
 		return "", fmt.Errorf("fault: format: unknown kind %v", site.Kind)
+	}
+	if site.Kind == RouterDead {
+		if site.Port != 0 || site.Index != 0 {
+			return "", fmt.Errorf("fault: format: kind %q takes no port or index", kind)
+		}
+		return fmt.Sprintf("%d:%s", router, kind), nil
+	}
+	if site.Kind == LinkDead && (site.Port < topology.North || site.Port > topology.West) {
+		return "", fmt.Errorf("fault: format: link port must be a mesh direction, got %d", int(site.Port))
 	}
 	if site.Port < 0 {
 		return "", fmt.Errorf("fault: format: bad port %d", int(site.Port))

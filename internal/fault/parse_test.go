@@ -75,3 +75,57 @@ func TestParseInjections(t *testing.T) {
 		t.Error("bogus tail accepted")
 	}
 }
+
+// TestParseNetworkInjections covers the network-level kinds: link faults
+// need a mesh-direction port, router faults take no port at all, and
+// both round-trip through FormatInjection.
+func TestParseNetworkInjections(t *testing.T) {
+	good := []struct {
+		spec   string
+		router int
+		site   Site
+	}{
+		{"5:link:n", 5, Site{Kind: LinkDead, Port: topology.North}},
+		{"5:link:e", 5, Site{Kind: LinkDead, Port: topology.East}},
+		{"12:LINK:3", 12, Site{Kind: LinkDead, Port: topology.South}},
+		{"0:link:w", 0, Site{Kind: LinkDead, Port: topology.West}},
+		{"10:router", 10, Site{Kind: RouterDead}},
+		{"0:ROUTER", 0, Site{Kind: RouterDead}},
+	}
+	for _, c := range good {
+		r, s, err := ParseInjection(c.spec)
+		if err != nil {
+			t.Errorf("ParseInjection(%q): %v", c.spec, err)
+			continue
+		}
+		if r != c.router || s != c.site {
+			t.Errorf("ParseInjection(%q) = %d, %+v; want %d, %+v", c.spec, r, s, c.router, c.site)
+		}
+		if !s.Kind.Network() {
+			t.Errorf("%q: Kind.Network() = false", c.spec)
+		}
+		out, err := FormatInjection(r, s)
+		if err != nil {
+			t.Errorf("FormatInjection(%q): %v", c.spec, err)
+			continue
+		}
+		r2, s2, err := ParseInjection(out)
+		if err != nil || r2 != r || s2 != s {
+			t.Errorf("round trip %q -> %q -> %d, %+v (%v)", c.spec, out, r2, s2, err)
+		}
+	}
+	bad := []string{
+		"5:link",      // link needs a port
+		"5:link:l",    // local is not a mesh link
+		"5:link:0",    // numeric local port
+		"5:link:e:1",  // link takes no VC index
+		"5:router:n",  // router takes no port
+		"5:router:0",  // router takes no numeric port either
+		"5:router:e:1",
+	}
+	for _, spec := range bad {
+		if _, _, err := ParseInjection(spec); err == nil {
+			t.Errorf("ParseInjection(%q) succeeded, want error", spec)
+		}
+	}
+}

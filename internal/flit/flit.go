@@ -86,6 +86,11 @@ type Packet struct {
 	Class Class
 	// Size is the packet length in flits (>= 1).
 	Size int
+	// Seq is the source NI's end-to-end sequence number, assigned per
+	// source node at offer time. A retransmitted copy keeps the original
+	// Seq (under a fresh ID), which is how the sink suppresses duplicates
+	// and the source matches deliveries to its retransmission buffer.
+	Seq uint64
 	// CreatedAt is the cycle the packet was offered to the source queue.
 	CreatedAt sim.Cycle
 	// InjectedAt is the cycle the head flit entered the network proper.

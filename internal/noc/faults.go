@@ -1,0 +1,295 @@
+package noc
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/flit"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/topology"
+)
+
+// Network-level faults (dead links and dead routers) and the end-to-end
+// retransmission layer that recovers from them. All the state mutated
+// here lives in the serial phases of Step (hooks, offer, commit), so
+// recovery is bit-exact for every Workers setting.
+
+// SetLinkFault kills (value true) or repairs (value false) the
+// inter-router link leaving router id through port p. A dead link is
+// bidirectional — the fault is mirrored on the neighbor's facing port —
+// and takes effect at packet granularity: a head flit meeting the dead
+// link is discarded (with the rest of its packet), while a packet whose
+// head already crossed completes gracefully. The sender's flow control
+// is unwound locally for discarded flits, so no VC or credit leaks.
+// Routing tables are rebuilt immediately; call this from a cycle hook
+// (or before the run) so the change lands in a serial phase.
+func (n *Network) SetLinkFault(id int, p topology.Port, value bool) error {
+	if id < 0 || id >= n.mesh.Nodes() {
+		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, n.mesh.W, n.mesh.H)
+	}
+	if p < topology.North || p > topology.West {
+		return fmt.Errorf("noc: link fault port must be a mesh direction, got %v", p)
+	}
+	nb, ok := n.mesh.Neighbor(id, p)
+	if !ok {
+		return fmt.Errorf("noc: router %d has no %v link (mesh edge)", id, p)
+	}
+	n.linkDead[id][p] = value
+	n.linkDead[nb][p.Opposite()] = value
+	return n.rebuildRoutes()
+}
+
+// SetRouterFault kills (value true) or repairs (value false) router id
+// entirely: all four of its mesh links behave dead in both directions,
+// its NI neither injects nor ejects, and no route transits it.
+func (n *Network) SetRouterFault(id int, value bool) error {
+	if id < 0 || id >= n.mesh.Nodes() {
+		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, n.mesh.W, n.mesh.H)
+	}
+	n.routerDead[id] = value
+	return n.rebuildRoutes()
+}
+
+// LinkFaulty reports whether the link leaving router id through port p
+// is dead — explicitly, or because either endpoint router is dead.
+func (n *Network) LinkFaulty(id int, p topology.Port) bool {
+	if n.linkDead[id][p] || n.routerDead[id] {
+		return true
+	}
+	nb, ok := n.mesh.Neighbor(id, p)
+	return ok && n.routerDead[nb]
+}
+
+// RouterFaulty reports whether router id is marked dead.
+func (n *Network) RouterFaulty(id int) bool { return n.routerDead[id] }
+
+// Reachable reports whether a packet injected at src can currently reach
+// dst. With no network faults every (src, dst) pair is reachable.
+func (n *Network) Reachable(src, dst int) bool {
+	if n.routes == nil {
+		return true
+	}
+	if n.routerDead[src] || n.routerDead[dst] {
+		return src == dst && !n.routerDead[src]
+	}
+	return src == dst || n.routes.reachable(src, dst)
+}
+
+// anyNetworkFault reports whether any link or router fault is set.
+func (n *Network) anyNetworkFault() bool {
+	for _, d := range n.routerDead {
+		if d {
+			return true
+		}
+	}
+	for _, row := range n.linkDead {
+		for _, d := range row {
+			if d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rebuildRoutes recomputes the fault-aware routing tables after a fault
+// change. With no network faults the tables are dropped and every router
+// reverts to its built-in XY computation, keeping the fault-free
+// simulation bit-identical to the pre-fault-model baseline.
+func (n *Network) rebuildRoutes() error {
+	if !n.anyNetworkFault() {
+		n.routes = nil
+		for _, r := range n.routers {
+			r.SetRouteFn(nil)
+		}
+		return nil
+	}
+	for cls := 0; cls < n.cfg.Router.Classes; cls++ {
+		lo, hi := n.cfg.Router.ClassRange(cls)
+		if hi-lo < numLayers {
+			return fmt.Errorf("noc: fault-aware routing needs >= %d VCs per message class (class %d has %d): raise VCs or lower Classes",
+				numLayers, cls, hi-lo)
+		}
+	}
+	n.routes = buildRoutes(n.mesh, n.linkDead, n.routerDead)
+	for _, r := range n.routers {
+		r.SetRouteFn(n.routeFor)
+	}
+	return nil
+}
+
+// routeFor is the core.RouteFn installed on every router while network
+// faults are present: a table lookup keyed by (node, input port, layer),
+// returning the output port and the downstream VC layer range.
+func (n *Network) routeFor(cur int, in topology.Port, vcIdx int, dst int) (topology.Port, int, int, bool) {
+	cfg := n.cfg.Router
+	lo, hi := cfg.ClassRange(cfg.ClassOf(vcIdx))
+	if cur == dst {
+		return topology.Local, lo, hi, true
+	}
+	t := n.routes
+	if t == nil {
+		// Raced with a repair in a hook; cannot happen mid-phase, but
+		// fall back to XY rather than panic.
+		return n.mesh.RouteXY(cur, dst), lo, hi, true
+	}
+	half := (hi - lo) / numLayers
+	layer := 0
+	if in != topology.Local && vcIdx >= lo+half {
+		layer = 1
+	}
+	e := t.lookup(dst, cur, in, layer)
+	if e.out < 0 {
+		return topology.Local, 0, 0, false
+	}
+	if e.layer == 0 {
+		return topology.Port(e.out), lo, lo + half, true
+	}
+	return topology.Port(e.out), lo + half, hi, true
+}
+
+// deadLink reports whether the link leaving id through out carries
+// nothing this cycle. The routes-nil fast path keeps the fault-free
+// commit loop at one pointer test per flit.
+func (n *Network) deadLink(id int, out topology.Port) bool {
+	if n.routes == nil {
+		return false
+	}
+	return n.LinkFaulty(id, out)
+}
+
+// dropAtLink discards one flit at a dead link, synthesizing the upstream
+// credit the neighbor would have returned so the sender's flow control
+// (and the network-wide credit-conservation invariant) stays exact.
+func (n *Network) dropAtLink(id int, of router.OutFlit, _ sim.Cycle) {
+	n.inCredits[id] = append(n.inCredits[id],
+		core.CreditIn{Out: of.Out, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
+}
+
+// dropIfUnreachable drops a freshly offered packet whose destination no
+// surviving path reaches (or whose source node is dead), recording the
+// drop, and reports whether it did.
+func (n *Network) dropIfUnreachable(node int, p *flit.Packet, c sim.Cycle) bool {
+	if n.routes == nil {
+		return false
+	}
+	if node != p.Dst && !n.routerDead[node] && !n.routerDead[p.Dst] && n.routes.reachable(node, p.Dst) {
+		return false
+	}
+	if node == p.Dst && !n.routerDead[node] {
+		return false // self-delivery at a live node always works
+	}
+	n.stats.RecordDrop(p)
+	if on := n.obsNodes[node]; on != nil {
+		on.DropUnreachable(c, p.Dst)
+	}
+	return true
+}
+
+// trackRetx records a freshly offered packet in its source's
+// retransmission buffer, if retransmission is enabled and the buffer has
+// room (packets offered past the bound travel unprotected).
+func (n *Network) trackRetx(node int, p *flit.Packet, c sim.Cycle) {
+	if n.retxCfg.Timeout == 0 || len(n.retx[node]) >= n.retxCfg.Buffer {
+		return
+	}
+	n.retx[node] = append(n.retx[node], retxEntry{
+		seq: p.Seq, dst: p.Dst, class: p.Class, size: p.Size,
+		createdAt: c,
+		deadline:  c + n.retxCfg.Timeout,
+		interval:  n.retxCfg.Timeout,
+	})
+}
+
+// retxScan fires expired retransmission timers. It runs in Step's serial
+// pre-phase in canonical node order, so retransmissions are bit-exact at
+// every Workers setting.
+func (n *Network) retxScan(c sim.Cycle) {
+	if n.retxCfg.Timeout == 0 {
+		return
+	}
+	for node := range n.retx {
+		entries := n.retx[node]
+		if len(entries) == 0 {
+			continue
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			if c < e.deadline {
+				kept = append(kept, e)
+				continue
+			}
+			if e.retries >= n.retxCfg.MaxRetries {
+				// Abandon: every copy was already recorded as dropped
+				// when it died, so accounting stays balanced.
+				continue
+			}
+			e.retries++
+			e.interval *= sim.Cycle(n.retxCfg.Backoff)
+			e.deadline = c + e.interval
+			n.retransmit(node, e, c)
+			kept = append(kept, e)
+		}
+		n.retx[node] = kept
+	}
+}
+
+// retransmit clones and re-offers an unacknowledged packet. The clone
+// keeps the original's sequence number (for duplicate suppression and
+// release) and CreatedAt stamp (so measured latency includes the loss),
+// under a fresh packet ID.
+func (n *Network) retransmit(node int, e retxEntry, c sim.Cycle) {
+	p := &flit.Packet{
+		ID: n.nextID, Src: node, Dst: e.dst, Class: e.class, Size: e.size,
+		CreatedAt: e.createdAt, Seq: e.seq,
+	}
+	n.nextID++
+	n.stats.RecordCreation(p)
+	n.stats.RecordRetransmit(p)
+	if on := n.obsNodes[node]; on != nil {
+		on.NIRetransmit(c, e.dst, e.retries)
+	}
+	if n.dropIfUnreachable(node, p, c) {
+		return
+	}
+	n.nis[node].Offer(p)
+}
+
+// releaseRetx removes the retransmission entry for (src, seq) after the
+// sink saw its first delivery.
+func (n *Network) releaseRetx(src int, seq uint64) {
+	entries := n.retx[src]
+	for i := range entries {
+		if entries[i].seq == seq {
+			n.retx[src] = append(entries[:i], entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// isDuplicate reports whether the sink at node has already delivered the
+// packet (same source, same sequence number), marking it delivered
+// otherwise. The per-source window compacts as its floor advances, so
+// memory tracks only out-of-order deliveries.
+func (n *Network) isDuplicate(node int, p *flit.Packet) bool {
+	m := n.delivered[node]
+	if m == nil {
+		m = make(map[int]*seqWindow)
+		n.delivered[node] = m
+	}
+	w := m[p.Src]
+	if w == nil {
+		w = &seqWindow{seen: make(map[uint64]bool)}
+		m[p.Src] = w
+	}
+	if p.Seq < w.floor || w.seen[p.Seq] {
+		return true
+	}
+	w.seen[p.Seq] = true
+	for w.seen[w.floor] {
+		delete(w.seen, w.floor)
+		w.floor++
+	}
+	return false
+}

@@ -63,6 +63,51 @@ type Config struct {
 	// count produces bit-exact identical simulations; negative values
 	// are rejected by New.
 	Workers int
+	// Retx configures the NIs' end-to-end retransmission layer; the
+	// zero value disables it.
+	Retx RetxConfig
+}
+
+// RetxConfig configures end-to-end packet retransmission at the network
+// interfaces: sources keep a bounded buffer of unacknowledged packets
+// and re-inject them on a cycle timeout with exponential backoff, and
+// sinks suppress the duplicate deliveries this can create. Combined with
+// fault-aware routing it delivers 100% of packets under any single link
+// or router fault.
+type RetxConfig struct {
+	// Timeout is the initial retransmission timeout in cycles, counted
+	// from the offer; 0 disables retransmission entirely. Set it above
+	// the worst-case delivery latency of the configuration or duplicates
+	// will be common (they are suppressed, but cost bandwidth).
+	Timeout sim.Cycle
+	// Backoff multiplies the timeout after every retransmission
+	// (exponential backoff); values below 1 default to 2.
+	Backoff int
+	// MaxRetries bounds the retransmissions per packet; 0 defaults to 8.
+	// A packet still undelivered after MaxRetries is abandoned (it has
+	// already been recorded as dropped when its last copy died).
+	MaxRetries int
+	// Buffer bounds the retransmission entries tracked per source node;
+	// 0 defaults to 32. Packets offered while the buffer is full are
+	// sent without retransmission protection.
+	Buffer int
+}
+
+// withDefaults resolves the zero-value knobs of an enabled config.
+func (rc RetxConfig) withDefaults() RetxConfig {
+	if rc.Timeout <= 0 {
+		return RetxConfig{}
+	}
+	if rc.Backoff < 1 {
+		rc.Backoff = 2
+	}
+	if rc.MaxRetries <= 0 {
+		rc.MaxRetries = 8
+	}
+	if rc.Buffer <= 0 {
+		rc.Buffer = 32
+	}
+	return rc
 }
 
 // DefaultConfig returns the paper's evaluation configuration: an 8×8 mesh
@@ -107,11 +152,57 @@ type Network struct {
 	stagedFlits   [][]router.OutFlit
 	stagedCredits [][]router.Credit
 
+	// Network-level fault state. linkDead is the explicit per-(node,
+	// port) dead-link set (kept symmetric: both endpoints of a link are
+	// marked); routerDead marks completely failed routers. routes is the
+	// fault-aware routing table, nil while the network is fault-free —
+	// routing is then the exact XY baseline.
+	linkDead   [][]bool
+	routerDead []bool
+	routes     *routeTable
+
+	// Per-(node, output port, downstream VC) wormhole link state.
+	// midFlight marks a packet whose head crossed the link while it was
+	// alive (such packets complete gracefully if the link then dies);
+	// linkDrop marks a packet being discarded at a dead link, from its
+	// dropped head until its tail.
+	midFlight [][][]bool
+	linkDrop  [][][]bool
+
+	// End-to-end retransmission state: per-source sequence numbers,
+	// retransmission buffers, and per-sink duplicate-suppression windows
+	// keyed by source node. retxCfg is cfg.Retx with defaults resolved.
+	seqNext   []uint64
+	retx      [][]retxEntry
+	delivered []map[int]*seqWindow
+	retxCfg   RetxConfig
+
 	// workers is the resolved compute-phase shard count (>= 1); pool is
 	// the persistent worker pool, started lazily on the first parallel
 	// Step and released by Close.
 	workers int
 	pool    *stepPool
+}
+
+// retxEntry is one unacknowledged packet in a source's retransmission
+// buffer: everything needed to clone it, plus the timer state.
+type retxEntry struct {
+	seq       uint64
+	dst       int
+	class     flit.Class
+	size      int
+	createdAt sim.Cycle
+	deadline  sim.Cycle
+	interval  sim.Cycle
+	retries   int
+}
+
+// seqWindow is a sink's duplicate-suppression state for one source: all
+// sequence numbers below floor have been delivered, plus a sparse set of
+// delivered numbers above it (compacted as the floor advances).
+type seqWindow struct {
+	floor uint64
+	seen  map[uint64]bool
 }
 
 // stepPool is the persistent compute-phase worker pool: one goroutine
@@ -148,6 +239,7 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 		traffic: traffic,
 		stats:   stats.NewCollector(cfg.Warmup),
 		workers: workers,
+		retxCfg: cfg.Retx.withDefaults(),
 	}
 	n.routers = make([]*core.Router, mesh.Nodes())
 	n.nis = make([]*NI, mesh.Nodes())
@@ -158,8 +250,22 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 	n.inNICredits = make([][]router.Credit, mesh.Nodes())
 	n.stagedFlits = make([][]router.OutFlit, mesh.Nodes())
 	n.stagedCredits = make([][]router.Credit, mesh.Nodes())
+	n.linkDead = make([][]bool, mesh.Nodes())
+	n.routerDead = make([]bool, mesh.Nodes())
+	n.midFlight = make([][][]bool, mesh.Nodes())
+	n.linkDrop = make([][][]bool, mesh.Nodes())
+	n.seqNext = make([]uint64, mesh.Nodes())
+	n.retx = make([][]retxEntry, mesh.Nodes())
+	n.delivered = make([]map[int]*seqWindow, mesh.Nodes())
 	for i := range n.linkFlits {
 		n.linkFlits[i] = make([]uint64, cfg.Router.Ports)
+		n.linkDead[i] = make([]bool, cfg.Router.Ports)
+		n.midFlight[i] = make([][]bool, cfg.Router.Ports)
+		n.linkDrop[i] = make([][]bool, cfg.Router.Ports)
+		for p := range n.midFlight[i] {
+			n.midFlight[i][p] = make([]bool, cfg.Router.VCs)
+			n.linkDrop[i][p] = make([]bool, cfg.Router.VCs)
+		}
 	}
 	for id := 0; id < mesh.Nodes(); id++ {
 		r, err := core.New(id, mesh, cfg.Router)
@@ -170,6 +276,16 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 		n.obsNodes[id] = obs.BindNode(cfg.Router.Obs, id, cfg.Router.Ports)
 		node := id
 		n.nis[id] = newNI(id, r, n.obsNodes[id], func(p *flit.Packet, c sim.Cycle) {
+			if n.retxCfg.Timeout > 0 {
+				if n.isDuplicate(node, p) {
+					n.stats.RecordDuplicate(p)
+					if on := n.obsNodes[node]; on != nil {
+						on.NIDupSuppressed(c, p.Src)
+					}
+					return
+				}
+				n.releaseRetx(p.Src, p.Seq)
+			}
 			n.stats.RecordEjection(p)
 			if on := n.obsNodes[node]; on != nil {
 				on.NIEject(c, p.Latency())
@@ -217,16 +333,25 @@ func (n *Network) AddHook(h func(c sim.Cycle)) { n.hooks = append(n.hooks, h) }
 // to report their events into the same registry and trace.
 func (n *Network) Obs() *obs.Observer { return n.cfg.Router.Obs }
 
-// offer stamps and enqueues a packet at node.
+// offer stamps and enqueues a packet at node. With network faults
+// present, packets whose destination is unreachable (and every packet at
+// a dead node) are dropped here, with the drop counted, instead of
+// entering the network to hang.
 func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 	p.ID = n.nextID
 	n.nextID++
 	p.CreatedAt = c
 	p.Src = node
+	p.Seq = n.seqNext[node]
+	n.seqNext[node]++
 	n.stats.RecordCreation(p)
 	if on := n.obsNodes[node]; on != nil {
 		on.NIOffer(c, p.Dst)
 	}
+	if n.dropIfUnreachable(node, p, c) {
+		return
+	}
+	n.trackRetx(node, p, c)
 	n.nis[node].Offer(p)
 }
 
@@ -239,9 +364,10 @@ func (n *Network) Workers() int { return n.workers }
 
 // Step advances the network one cycle as an explicit two-phase tick:
 //
-//  1. Serial pre-phase: cycle hooks (fault injection, probes) and
-//     traffic generation, both of which touch shared state (router
-//     fault bits, packet IDs, the stats collector) in node order.
+//  1. Serial pre-phase: cycle hooks (fault injection, probes), the
+//     retransmission-timer scan and traffic generation, all of which
+//     touch shared state (router fault bits, packet IDs, the stats
+//     collector) in node order.
 //  2. Compute phase: every node delivers its latched link traffic,
 //     ticks its NI and ticks its router, reading only last-cycle
 //     state. Nodes are independent, so the phase shards over the
@@ -258,6 +384,7 @@ func (n *Network) Step() {
 	for _, h := range n.hooks {
 		h(c)
 	}
+	n.retxScan(c)
 	if n.traffic != nil {
 		for node := range n.nis {
 			for _, p := range n.traffic.Offered(node, c) {
@@ -315,17 +442,40 @@ func (n *Network) computeNode(id int, c sim.Cycle) {
 
 // commit applies the compute phase's staged outputs in node order:
 // counts link flits, consumes local ejections this cycle (statistics,
-// closed-loop traffic replies) and latches everything crossing a link
-// into the destination node's inbound buckets for delivery next cycle.
+// closed-loop traffic replies), discards traffic meeting a dead link or
+// router (crediting the sender so its flow control unwinds exactly) and
+// latches everything crossing a live link into the destination node's
+// inbound buckets for delivery next cycle.
 func (n *Network) commit(c sim.Cycle) {
 	for id := range n.routers {
-		for _, of := range n.stagedFlits[id] {
-			n.linkFlits[id][of.Out]++
+		for _, pkt := range n.routers[id].TakeDropped() {
+			// Routing declared the destination unreachable; the router
+			// drains the buffered flits itself.
+			n.stats.RecordDrop(pkt)
 			if on := n.obsNodes[id]; on != nil {
-				on.LinkFlit(int(of.Out))
+				on.DropUnreachable(c, pkt.Dst)
 			}
+		}
+		for _, of := range n.stagedFlits[id] {
 			if of.Out == localPort {
-				n.nis[id].consume(of.F, c)
+				n.linkFlits[id][of.Out]++
+				if on := n.obsNodes[id]; on != nil {
+					on.LinkFlit(int(of.Out))
+				}
+				if n.routerDead[id] {
+					// A dead node ejects nothing: the packet (necessarily
+					// one already inside this router when it died) is
+					// discarded, but the router's local output still gets
+					// its ejection credit so the pipeline drains.
+					if of.F.Kind.IsTail() {
+						n.stats.RecordDrop(of.F.Pkt)
+						if on := n.obsNodes[id]; on != nil {
+							on.DropUnreachable(c, of.F.Pkt.Dst)
+						}
+					}
+				} else {
+					n.nis[id].consume(of.F, c)
+				}
 				// Ejection credit back to this router's local output.
 				n.inCredits[id] = append(n.inCredits[id],
 					core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
@@ -334,6 +484,46 @@ func (n *Network) commit(c sim.Cycle) {
 			nb, ok := n.mesh.Neighbor(id, of.Out)
 			if !ok {
 				panic(fmt.Sprintf("noc: router %d emitted flit through edge port %v", id, of.Out))
+			}
+			dvc := of.DownVC
+			mf := n.midFlight[id][of.Out]
+			ld := n.linkDrop[id][of.Out]
+			if ld[dvc] {
+				// Rest of a packet whose head was already discarded at
+				// this link: keep dropping (even if the link was repaired
+				// mid-packet — the neighbor never saw the head).
+				n.dropAtLink(id, of, c)
+				if of.F.Kind.IsTail() {
+					ld[dvc] = false
+				}
+				continue
+			}
+			if n.deadLink(id, of.Out) && !mf[dvc] {
+				// The head meets a dead link: discard the whole packet.
+				// (A packet whose head crossed while the link was alive —
+				// midFlight — completes gracefully instead; the fault
+				// takes effect at packet granularity.)
+				if of.F.Kind.IsHead() {
+					n.stats.RecordDrop(of.F.Pkt)
+					if on := n.obsNodes[id]; on != nil {
+						on.LinkDrop(c, int(of.Out), of.F.Pkt.Dst)
+					}
+				}
+				n.dropAtLink(id, of, c)
+				if !of.F.Kind.IsTail() {
+					ld[dvc] = true
+				}
+				continue
+			}
+			if of.F.Kind.IsHead() {
+				mf[dvc] = true
+			}
+			if of.F.Kind.IsTail() {
+				mf[dvc] = false
+			}
+			n.linkFlits[id][of.Out]++
+			if on := n.obsNodes[id]; on != nil {
+				on.LinkFlit(int(of.Out))
 			}
 			n.inFlits[nb] = append(n.inFlits[nb],
 				router.InFlit{In: of.Out.Opposite(), VC: of.DownVC, F: of.F})
@@ -405,17 +595,31 @@ func (n *Network) Run(cycles sim.Cycle) {
 	}
 }
 
-// Drain keeps stepping (traffic generation continues) until all offered
-// packets have been delivered or the cycle limit is reached. It returns
-// true when the network drained.
+// Drain keeps stepping (traffic generation continues) until every
+// offered packet has been delivered or dropped — and, with
+// retransmission enabled, no retransmission is still pending — or the
+// cycle limit is reached. It returns true when the network drained.
 func (n *Network) Drain(limit sim.Cycle) bool {
 	for n.cycle < limit {
-		if n.stats.InFlight() == 0 {
+		if n.stats.InFlight() == 0 && n.pendingRetx() == 0 {
 			return true
 		}
 		n.Step()
 	}
-	return n.stats.InFlight() == 0
+	return n.stats.InFlight() == 0 && n.pendingRetx() == 0
+}
+
+// pendingRetx counts unacknowledged packets still tracked by some
+// source's retransmission buffer.
+func (n *Network) pendingRetx() int {
+	if n.retxCfg.Timeout == 0 {
+		return 0
+	}
+	total := 0
+	for _, e := range n.retx {
+		total += len(e)
+	}
+	return total
 }
 
 // Functional reports whether every router in the network is functional.

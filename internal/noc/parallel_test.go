@@ -56,12 +56,20 @@ type outcome struct {
 	cycle   sim.Cycle
 }
 
+// timedFault is a fault injection spec applied at a specific cycle.
+type timedFault struct {
+	at   sim.Cycle
+	spec string
+}
+
 // confCase is one workload/fault configuration of the suite.
 type confCase struct {
 	name        string
 	baseline    bool          // unprotected router instead of the FT design
 	makeTraffic func() noc.Traffic
-	faults      []string  // injection specs applied before cycle 0
+	faults      []string      // injection specs applied before cycle 0
+	midFaults   []timedFault  // injection specs applied mid-run via a hook
+	retx        noc.RetxConfig
 	faultMean   sim.Cycle // random safe-only injector mean (0 = none)
 	cycles      sim.Cycle
 }
@@ -132,6 +140,24 @@ func conformanceCases() []confCase {
 			faults:      []string{"0:sa1:s", "3:xb:w", "12:va1:e:0"},
 			cycles:      stopAt,
 		},
+		{
+			name:        "uniform/ft/static-link-fault+retx",
+			makeTraffic: uniformTraffic(314),
+			faults:      []string{"5:link:e", "10:router"},
+			retx:        noc.RetxConfig{Timeout: 300, MaxRetries: 4},
+			cycles:      stopAt,
+		},
+		{
+			name:        "uniform/ft/midrun-link-faults+retx",
+			makeTraffic: uniformTraffic(2718),
+			midFaults: []timedFault{
+				{at: 400, spec: "6:link:s"},
+				{at: 900, spec: "9:link:n"},
+				{at: 1400, spec: "1:router"},
+			},
+			retx:   noc.RetxConfig{Timeout: 300, MaxRetries: 4},
+			cycles: stopAt,
+		},
 	}
 }
 
@@ -145,7 +171,7 @@ func runCase(t *testing.T, cc confCase, workers int) outcome {
 	rc.Obs = o
 	rec := &recorder{inner: cc.makeTraffic()}
 	n, err := noc.New(noc.Config{
-		Width: 4, Height: 4, Router: rc, Warmup: 100, Workers: workers,
+		Width: 4, Height: 4, Router: rc, Warmup: 100, Workers: workers, Retx: cc.retx,
 	}, rec)
 	if err != nil {
 		t.Fatalf("%s: %v", cc.name, err)
@@ -156,7 +182,23 @@ func runCase(t *testing.T, cc confCase, workers int) outcome {
 		if err != nil {
 			t.Fatalf("%s: %v", cc.name, err)
 		}
-		fault.Apply(n.Router(id), site, true)
+		if err := fault.ApplyNetwork(n, id, site, true); err != nil {
+			t.Fatalf("%s: %v", cc.name, err)
+		}
+	}
+	for _, mf := range cc.midFaults {
+		mf := mf
+		id, site, err := fault.ParseInjection(mf.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", cc.name, err)
+		}
+		n.AddHook(func(c sim.Cycle) {
+			if c == mf.at {
+				if err := fault.ApplyNetwork(n, id, site, true); err != nil {
+					t.Errorf("%s: %v", cc.name, err)
+				}
+			}
+		})
 	}
 	if cc.faultMean > 0 {
 		fault.NewInjector(n, cc.faultMean, 999, true)

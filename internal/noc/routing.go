@@ -1,0 +1,223 @@
+package noc
+
+import (
+	"gonoc/internal/topology"
+)
+
+// Fault-aware routing.
+//
+// When at least one network-level fault (dead link or dead router) is
+// present, the network replaces the routers' XY computation with table
+// lookups built here; with no faults the tables are dropped and routing
+// is the exact, bit-identical XY baseline.
+//
+// Deadlock freedom comes from a two-layer turn model. Each message
+// class's VC range is split into two routing layers:
+//
+//	layer 0 — negative-first: turns from a positive direction (East,
+//	          South) into a negative one (North, West) are forbidden,
+//	layer 1 — positive-first: turns from a negative direction into a
+//	          positive one are forbidden.
+//
+// Each turn model is individually deadlock-free, and a packet may switch
+// layers exactly one way (0 → 1) with an arbitrary (non-180°) turn at
+// the switch, so the combined channel-dependency graph is the union of
+// two acyclic graphs joined by one-way edges — still acyclic. The
+// resulting path shapes, a negative-first prefix plus one free turn plus
+// a positive-first suffix, are rich enough to detour around any single
+// dead link or dead router without losing connectivity (pinned by the
+// exhaustive single-fault test).
+//
+// Routing state is (node, input port, layer): the input port encodes the
+// packet's motion direction (Local means injection, which has no turn
+// constraint and a free choice of starting layer), the layer is derived
+// from the input VC index. Tables are built per destination by a
+// backward BFS over that state graph, so every next hop strictly
+// decreases the remaining distance — table-routed paths cannot loop.
+
+// numLayers is the number of deadlock-avoidance routing layers each
+// message class's VC range is split into.
+const numLayers = 2
+
+// routeEntry is one routing decision: the output port to take and the
+// layer of the downstream VC range to allocate from. out is -1 when the
+// destination is unreachable from the state.
+type routeEntry struct {
+	out   int8
+	layer int8
+}
+
+// routeTable holds, per destination, a routeEntry for every routing
+// state. It is immutable once built; SetLinkFault/SetRouterFault swap in
+// a fresh table during the serial hook phase.
+type routeTable struct {
+	mesh    topology.Mesh
+	entries [][]routeEntry // [dst][stateID]
+}
+
+// statesPerNode is the routing-state count per node.
+const statesPerNode = int(topology.NumPorts) * numLayers
+
+// stateID flattens a routing state.
+func stateID(node int, in topology.Port, layer int) int {
+	return node*statesPerNode + int(in)*numLayers + layer
+}
+
+// turnLegal reports whether a packet that entered through port in on
+// layer l may leave through port out on layer l2.
+func turnLegal(in, out topology.Port, l, l2 int) bool {
+	if in == topology.Local {
+		return true // injection: no motion yet, any turn and layer
+	}
+	if out == in {
+		return false // 180° turn, always illegal
+	}
+	if l2 < l {
+		return false // layers are strictly one-way: 0 → 1
+	}
+	if l2 > l {
+		return true // the layer switch is the packet's one free turn
+	}
+	dir := in.Opposite() // current motion direction
+	if dir == out {
+		return true // going straight is never a turn
+	}
+	negDir := dir == topology.North || dir == topology.West
+	negOut := out == topology.North || out == topology.West
+	if l == 0 {
+		return !(!negDir && negOut) // negative-first: no positive→negative
+	}
+	return !(negDir && !negOut) // positive-first: no negative→positive
+}
+
+// buildRoutes computes the full per-destination routing tables for the
+// given fault state. Dead routers are never entered (they can neither
+// transit nor terminate traffic) and dead links carry nothing in either
+// direction.
+func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *routeTable {
+	nStates := mesh.Nodes() * statesPerNode
+
+	// Forward adjacency over routing states. It is independent of the
+	// destination, so it is built once and reversed for the BFS.
+	type move struct {
+		out, layer int8
+		to         int32
+	}
+	adj := make([][]move, nStates)
+	for node := 0; node < mesh.Nodes(); node++ {
+		if routerDead[node] {
+			continue
+		}
+		for in := topology.Local; in <= topology.West; in++ {
+			for l := 0; l < numLayers; l++ {
+				if in == topology.Local && l != 0 {
+					continue // injection states live on layer 0 only
+				}
+				s := stateID(node, in, l)
+				for out := topology.North; out <= topology.West; out++ {
+					nb, ok := mesh.Neighbor(node, out)
+					if !ok || linkDead[node][out] || routerDead[nb] {
+						continue
+					}
+					for l2 := l; l2 < numLayers; l2++ {
+						if !turnLegal(in, out, l, l2) {
+							continue
+						}
+						adj[s] = append(adj[s], move{
+							out: int8(out), layer: int8(l2),
+							to: int32(stateID(nb, out.Opposite(), l2)),
+						})
+					}
+				}
+			}
+		}
+	}
+	rev := make([][]int32, nStates)
+	for s := range adj {
+		for _, m := range adj[s] {
+			rev[m.to] = append(rev[m.to], int32(s))
+		}
+	}
+
+	t := &routeTable{mesh: mesh, entries: make([][]routeEntry, mesh.Nodes())}
+	dist := make([]int32, nStates)
+	queue := make([]int32, 0, nStates)
+	for dst := 0; dst < mesh.Nodes(); dst++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		if !routerDead[dst] {
+			for in := topology.Local; in <= topology.West; in++ {
+				for l := 0; l < numLayers; l++ {
+					s := int32(stateID(dst, in, l))
+					dist[s] = 0
+					queue = append(queue, s)
+				}
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range rev[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+
+		ents := make([]routeEntry, nStates)
+		for s := 0; s < nStates; s++ {
+			if s/statesPerNode == dst {
+				ents[s] = routeEntry{out: int8(topology.Local), layer: int8(s % numLayers)}
+				continue
+			}
+			// Among minimal-distance moves, prefer the port XY routing
+			// would take. Every X-then-Y path shape is realizable in the
+			// two-layer model (a positive→negative turn rides the free
+			// 0→1 layer switch), so traffic whose XY path misses the
+			// faults keeps the baseline's load balance — a single
+			// smallest-port tie-break instead funnels every tied flow
+			// onto the same links and congests the whole mesh.
+			xy := int8(mesh.RouteXY(s/statesPerNode, dst))
+			best := routeEntry{out: -1}
+			bestDist := int32(-1)
+			for _, m := range adj[s] {
+				d := dist[m.to]
+				if d < 0 {
+					continue
+				}
+				better := bestDist < 0 || d < bestDist
+				if !better && d == bestDist {
+					switch bp, mp := best.out == xy, m.out == xy; {
+					case mp != bp:
+						better = mp
+					case m.layer != best.layer:
+						better = m.layer < best.layer
+					default:
+						better = m.out < best.out
+					}
+				}
+				if better {
+					best = routeEntry{out: m.out, layer: m.layer}
+					bestDist = d
+				}
+			}
+			ents[s] = best
+		}
+		t.entries[dst] = ents
+	}
+	return t
+}
+
+// lookup returns the routing decision for a packet at node (entered
+// through in, on layer) heading for dst.
+func (t *routeTable) lookup(dst, node int, in topology.Port, layer int) routeEntry {
+	return t.entries[dst][stateID(node, in, layer)]
+}
+
+// reachable reports whether a packet injected at src can reach dst under
+// the table's fault state.
+func (t *routeTable) reachable(src, dst int) bool {
+	return t.entries[dst][stateID(src, topology.Local, 0)].out >= 0
+}

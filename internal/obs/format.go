@@ -44,6 +44,39 @@ func FormatPerRouter(m *Metrics, cycles uint64) string {
 		tot.Total[KXBSecondary],
 		tot.Total[KFaultsInjected]+tot.Total[KFaultsTransient],
 		tot.Total[KFaultsDetected])
+
+	// Network-fault recovery section, only when any of its counters moved
+	// (a run with no dead links/routers keeps the classic table shape).
+	netKinds := []Kind{KReroutes, KLinkDrops, KDropsUnreachable, KNIRetransmits, KNIDupsSuppressed}
+	var any uint64
+	for _, k := range netKinds {
+		any += tot.Total[k]
+	}
+	if any > 0 {
+		fmt.Fprintf(&b, "\nnetwork-fault recovery counters\n")
+		fmt.Fprintf(&b, "%6s %8s %9s %7s %7s %7s\n",
+			"router", "reroute", "link.drop", "unreach", "ni.retx", "ni.dup")
+		for _, r := range rows {
+			if r.Router < 0 {
+				continue
+			}
+			var rowAny uint64
+			for _, k := range netKinds {
+				rowAny += r.Total[k]
+			}
+			if rowAny == 0 {
+				continue // only routers the recovery machinery touched
+			}
+			fmt.Fprintf(&b, "%6d %8d %9d %7d %7d %7d\n",
+				r.Router, r.Total[KReroutes], r.Total[KLinkDrops],
+				r.Total[KDropsUnreachable], r.Total[KNIRetransmits],
+				r.Total[KNIDupsSuppressed])
+		}
+		fmt.Fprintf(&b, "%6s %8d %9d %7d %7d %7d\n",
+			"total", tot.Total[KReroutes], tot.Total[KLinkDrops],
+			tot.Total[KDropsUnreachable], tot.Total[KNIRetransmits],
+			tot.Total[KNIDupsSuppressed])
+	}
 	return b.String()
 }
 

@@ -72,6 +72,51 @@ func TestFormatPerRouterTable(t *testing.T) {
 	}
 }
 
+// TestFormatPerRouterNetworkFaultSection: the recovery table appears
+// only when a network-fault counter moved, lists only the routers the
+// recovery machinery touched, and sums correctly.
+func TestFormatPerRouterNetworkFaultSection(t *testing.T) {
+	m := NewMetrics()
+	key := func(k Kind, router int32, port int8) Key {
+		return Key{Kind: k, Router: router, Port: port, VC: NoVC}
+	}
+	m.Counter(key(KFlitsRouted, 0, 1)).Add(5)
+	if out := FormatPerRouter(m, 100); strings.Contains(out, "network-fault") {
+		t.Fatalf("recovery section rendered with no network-fault counters:\n%s", out)
+	}
+
+	m.Counter(key(KReroutes, 3, 2)).Add(7)
+	m.Counter(key(KLinkDrops, 3, 2)).Add(1)
+	m.Counter(key(KDropsUnreachable, 6, NoPort)).Add(4)
+	m.Counter(key(KNIRetransmits, 6, NoPort)).Add(2)
+	m.Counter(key(KNIDupsSuppressed, 6, NoPort)).Add(2)
+	out := FormatPerRouter(m, 100)
+	_, section, found := strings.Cut(out, "network-fault recovery counters")
+	if !found {
+		t.Fatalf("recovery section missing:\n%s", out)
+	}
+	// Column order: router reroute link.drop unreach ni.retx ni.dup.
+	r3 := tableRow(t, section, "3")
+	if r3[1] != "7" || r3[2] != "1" {
+		t.Errorf("router 3 reroute/link.drop = %s/%s, want 7/1", r3[1], r3[2])
+	}
+	r6 := tableRow(t, section, "6")
+	if r6[3] != "4" || r6[4] != "2" || r6[5] != "2" {
+		t.Errorf("router 6 unreach/retx/dup = %s/%s/%s, want 4/2/2", r6[3], r6[4], r6[5])
+	}
+	tot := tableRow(t, section, "total")
+	if tot[1] != "7" || tot[3] != "4" || tot[4] != "2" {
+		t.Errorf("totals reroute/unreach/retx = %s/%s/%s, want 7/4/2", tot[1], tot[3], tot[4])
+	}
+	// Router 0 had traffic but no recovery activity: no row in the section.
+	for _, line := range strings.Split(section, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && f[0] == "0" {
+			t.Errorf("untouched router 0 got a recovery row:\n%s", section)
+		}
+	}
+}
+
 func TestFormatPerRouterZeroCycles(t *testing.T) {
 	m := NewMetrics()
 	m.Counter(Key{Kind: KFlitsRouted, Router: 1, Port: 0, VC: NoVC}).Add(7)

@@ -63,6 +63,24 @@ const (
 	KFaultsRecovered
 	// KFaultsDetected counts watchdog fault detections at the router.
 	KFaultsDetected
+	// KReroutes counts routing computations that diverged from XY to
+	// detour around a dead link or router, per input port.
+	KReroutes
+	// KLinkDrops counts packets discarded at a dead outgoing link, per
+	// output port.
+	KLinkDrops
+	// KDropsUnreachable counts packets dropped because no path to their
+	// destination survives the fault set (at the NI before injection, or
+	// in-network when routing hits a wall).
+	KDropsUnreachable
+	// KNIRetransmits counts packet retransmissions issued by the NI's
+	// end-to-end reliability layer.
+	KNIRetransmits
+	// KNIRetxTimeouts counts retransmission-timer expirations at the NI.
+	KNIRetxTimeouts
+	// KNIDupsSuppressed counts duplicate deliveries suppressed at the
+	// sink NI.
+	KNIDupsSuppressed
 
 	numKinds
 )
@@ -80,6 +98,8 @@ func (k Kind) String() string {
 		"link.flits",
 		"ni.flits_sent", "ni.packets_offered", "ni.packets_ejected", "ni.queue_depth",
 		"fault.injected", "fault.transient", "fault.recovered", "fault.detected",
+		"rc.reroutes", "link.drops", "ni.drops_unreachable",
+		"ni.retransmits", "ni.retx_timeouts", "ni.dups_suppressed",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -90,7 +110,7 @@ func (k Kind) String() string {
 // Stage returns the pipeline stage (or pseudo-stage) the kind belongs to.
 func (k Kind) Stage() Stage {
 	switch k {
-	case KRCComputes, KRCDuplicateUses:
+	case KRCComputes, KRCDuplicateUses, KReroutes:
 		return StageRC
 	case KVAAllocs, KVA1Borrows, KVA1BorrowStalls, KVA2Retries:
 		return StageVA
@@ -98,9 +118,10 @@ func (k Kind) Stage() Stage {
 		return StageSA
 	case KFlitsRouted, KXBSecondary:
 		return StageXB
-	case KLinkFlits:
+	case KLinkFlits, KLinkDrops:
 		return StageLink
-	case KNIFlitsSent, KNIPacketsOffered, KNIPacketsEjected, KNIQueueDepth:
+	case KNIFlitsSent, KNIPacketsOffered, KNIPacketsEjected, KNIQueueDepth,
+		KDropsUnreachable, KNIRetransmits, KNIRetxTimeouts, KNIDupsSuppressed:
 		return StageNI
 	default:
 		return StageFault

@@ -118,6 +118,7 @@ type RouterObs struct {
 	rcComputes, rcDup              []*Counter // per input port
 	vaAllocs, vaBorrows, vaStalls  []*Counter // per input port
 	saGrants, saBypass, saTransfer []*Counter // per input port
+	reroutes                       []*Counter // per input port
 	vaRetries                      []*Counter // per output port
 	flitsRouted, xbSecondary       []*Counter // per output port
 }
@@ -147,6 +148,7 @@ func BindRouter(o *Observer, id, ports int) *RouterObs {
 	r.saTransfer = bind(KSATransfers)
 	r.flitsRouted = bind(KFlitsRouted)
 	r.xbSecondary = bind(KXBSecondary)
+	r.reroutes = bind(KReroutes)
 	return r
 }
 
@@ -160,6 +162,13 @@ func (r *RouterObs) RCCompute(cy sim.Cycle, port, vcIdx, out int, dup bool) {
 		kind = EvRCDuplicate
 	}
 	r.o.emit(Event{Cycle: cy, Kind: kind, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out)})
+}
+
+// Reroute records routing for (port, vcIdx) detouring off the XY path
+// toward out to avoid a dead link or router.
+func (r *RouterObs) Reroute(cy sim.Cycle, port, vcIdx, out int) {
+	inc(r.reroutes[port])
+	r.o.emit(Event{Cycle: cy, Kind: EvReroute, Router: r.id, Port: int8(port), VC: int8(vcIdx), Arg: int32(out)})
 }
 
 // VAAlloc records input VC (port, vcIdx) winning downstream VC dvc at
@@ -233,10 +242,16 @@ type NodeObs struct {
 	id int32
 
 	linkFlits []*Counter // per output port
+	linkDrops []*Counter // per output port
 	niSent    *Counter
 	niOffered *Counter
 	niEjected *Counter
 	niQueue   *Gauge
+
+	niUnreach      *Counter
+	niRetx         *Counter
+	niRetxTimeouts *Counter
+	niDups         *Counter
 }
 
 // BindNode resolves node id's link and NI handles. It returns nil when
@@ -247,13 +262,19 @@ func BindNode(o *Observer, id, ports int) *NodeObs {
 	}
 	n := &NodeObs{o: o, id: int32(id)}
 	n.linkFlits = make([]*Counter, ports)
+	n.linkDrops = make([]*Counter, ports)
 	for p := range n.linkFlits {
 		n.linkFlits[p] = o.counter(Key{Kind: KLinkFlits, Router: int32(id), Port: int8(p), VC: NoVC})
+		n.linkDrops[p] = o.counter(Key{Kind: KLinkDrops, Router: int32(id), Port: int8(p), VC: NoVC})
 	}
 	n.niSent = o.counter(Key{Kind: KNIFlitsSent, Router: int32(id), Port: NoPort, VC: NoVC})
 	n.niOffered = o.counter(Key{Kind: KNIPacketsOffered, Router: int32(id), Port: NoPort, VC: NoVC})
 	n.niEjected = o.counter(Key{Kind: KNIPacketsEjected, Router: int32(id), Port: NoPort, VC: NoVC})
 	n.niQueue = o.gauge(Key{Kind: KNIQueueDepth, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niUnreach = o.counter(Key{Kind: KDropsUnreachable, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niRetx = o.counter(Key{Kind: KNIRetransmits, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niRetxTimeouts = o.counter(Key{Kind: KNIRetxTimeouts, Router: int32(id), Port: NoPort, VC: NoVC})
+	n.niDups = o.counter(Key{Kind: KNIDupsSuppressed, Router: int32(id), Port: NoPort, VC: NoVC})
 	return n
 }
 
@@ -281,4 +302,35 @@ func (n *NodeObs) NIQueueDepth(depth int) {
 	if n.niQueue != nil {
 		n.niQueue.Set(int64(depth))
 	}
+}
+
+// LinkDrop records a packet for dst discarded at the node's dead
+// outgoing link out.
+func (n *NodeObs) LinkDrop(cy sim.Cycle, out, dst int) {
+	inc(n.linkDrops[out])
+	n.o.emit(Event{Cycle: cy, Kind: EvLinkDrop, Router: n.id, Port: int8(out), VC: NoVC, Arg: int32(dst)})
+}
+
+// DropUnreachable records a packet for dst dropped because no surviving
+// path reaches it.
+func (n *NodeObs) DropUnreachable(cy sim.Cycle, dst int) {
+	inc(n.niUnreach)
+	n.o.emit(Event{Cycle: cy, Kind: EvDropUnreachable, Router: n.id, Port: NoPort, VC: NoVC, Arg: int32(dst)})
+}
+
+// NIRetransmit records the NI re-injecting an unacknowledged packet for
+// dst after a retransmission-timer expiry; retry is the retransmission
+// attempt number (1-based). Every retransmission today is timer-driven,
+// so the timeout counter moves in lockstep.
+func (n *NodeObs) NIRetransmit(cy sim.Cycle, dst, retry int) {
+	inc(n.niRetx)
+	inc(n.niRetxTimeouts)
+	n.o.emit(Event{Cycle: cy, Kind: EvNIRetransmit, Router: n.id, Port: NoPort, VC: NoVC, Arg: int32(dst), Arg2: int32(retry)})
+}
+
+// NIDupSuppressed records the sink NI discarding a duplicate delivery of
+// a packet from src.
+func (n *NodeObs) NIDupSuppressed(cy sim.Cycle, src int) {
+	inc(n.niDups)
+	n.o.emit(Event{Cycle: cy, Kind: EvNIDupSuppressed, Router: n.id, Port: NoPort, VC: NoVC, Arg: int32(src)})
 }

@@ -60,6 +60,21 @@ const (
 	// EvFaultDetect: the watchdog localized a suspected fault at
 	// (Port, VC); Arg is the suspected pipeline stage.
 	EvFaultDetect
+	// EvReroute: routing for (Port, VC) detoured off the XY path around a
+	// dead link or router; Arg is the chosen output port.
+	EvReroute
+	// EvLinkDrop: a packet was discarded at the dead outgoing link Port;
+	// Arg is the packet's destination node.
+	EvLinkDrop
+	// EvDropUnreachable: a packet was dropped because no path to
+	// destination Arg survives the fault set.
+	EvDropUnreachable
+	// EvNIRetransmit: the NI re-injected an unacknowledged packet for
+	// destination Arg; Arg2 is the retry number.
+	EvNIRetransmit
+	// EvNIDupSuppressed: the sink NI discarded a duplicate delivery of a
+	// packet from source Arg.
+	EvNIDupSuppressed
 
 	numEventKinds
 )
@@ -73,6 +88,8 @@ func (k EventKind) String() string {
 		"XB traverse", "XB secondary",
 		"NI offer", "NI eject",
 		"fault inject", "fault transient", "fault recover", "fault detect",
+		"reroute", "link drop", "drop unreachable",
+		"NI retransmit", "NI dup suppressed",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -83,7 +100,7 @@ func (k EventKind) String() string {
 // Stage returns the pipeline stage (or pseudo-stage) of the event kind.
 func (k EventKind) Stage() Stage {
 	switch k {
-	case EvRCCompute, EvRCDuplicate:
+	case EvRCCompute, EvRCDuplicate, EvReroute:
 		return StageRC
 	case EvVAAlloc, EvVABorrow, EvVABorrowStall, EvVARetry:
 		return StageVA
@@ -91,8 +108,10 @@ func (k EventKind) Stage() Stage {
 		return StageSA
 	case EvXBTraverse, EvXBSecondary:
 		return StageXB
-	case EvNIOffer, EvNIEject:
+	case EvNIOffer, EvNIEject, EvDropUnreachable, EvNIRetransmit, EvNIDupSuppressed:
 		return StageNI
+	case EvLinkDrop:
+		return StageLink
 	default:
 		return StageFault
 	}
@@ -122,6 +141,12 @@ func (k EventKind) argName() string {
 		return "duration"
 	case EvFaultDetect:
 		return "stage"
+	case EvReroute:
+		return "out"
+	case EvLinkDrop, EvDropUnreachable, EvNIRetransmit:
+		return "dst"
+	case EvNIDupSuppressed:
+		return "src"
 	}
 	return ""
 }
@@ -339,6 +364,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			args["dvc"] = e.Arg2
 		case EvSATransfer:
 			args["adopted"] = e.Arg2
+		case EvNIRetransmit:
+			args["retry"] = e.Arg2
 		}
 		if e.Detail != "" {
 			args["site"] = e.Detail

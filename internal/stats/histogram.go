@@ -150,15 +150,28 @@ func (h *Histogram) Quantile(q float64) sim.Cycle {
 }
 
 // Merge adds o's observations into h. Both histograms must share the
-// same bucket layout. Merging is pure integer arithmetic, so the result
-// is bit-exact regardless of how the inputs were sharded — merging one
-// collector per sweep worker reproduces the single-collector histogram.
+// same bucket layout — not just the same bucket count: mismatched bounds
+// are rejected with an error rather than silently adding counts that
+// mean different latency ranges. Merging is pure integer arithmetic, so
+// the result is bit-exact regardless of how the inputs were sharded —
+// merging one collector per sweep worker reproduces the single-collector
+// histogram.
 func (h *Histogram) Merge(o *Histogram) error {
 	if o == nil || o.total == 0 {
 		return nil
 	}
 	if len(h.counts) != len(o.counts) {
 		return fmt.Errorf("stats: merging histograms with %d vs %d buckets", len(h.counts), len(o.counts))
+	}
+	// Same backing array (the common shared-default-bounds case) needs no
+	// element scan; otherwise every bound must match.
+	if len(h.bounds) > 0 && &h.bounds[0] != &o.bounds[0] {
+		for i := range h.bounds {
+			if h.bounds[i] != o.bounds[i] {
+				return fmt.Errorf("stats: merging histograms with mismatched bucket bounds (bucket %d: %d vs %d cycles)",
+					i, h.bounds[i], o.bounds[i])
+			}
+		}
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c

@@ -233,3 +233,53 @@ func TestCollectorSnapshot(t *testing.T) {
 		t.Errorf("empty snapshot: %+v", empty)
 	}
 }
+
+// TestHistogramMergeSameLengthDifferentBounds: equal bucket counts with
+// different bounds must be rejected too — adding such counts silently
+// reassigns observations to different latency ranges.
+func TestHistogramMergeSameLengthDifferentBounds(t *testing.T) {
+	a := NewHistogram([]sim.Cycle{1, 2, 3})
+	b := NewHistogram([]sim.Cycle{1, 2, 4})
+	a.Observe(1)
+	b.Observe(4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge accepted same-length histograms with different bounds")
+	}
+	// Identical (but separately allocated) bounds merge fine.
+	c := NewHistogram([]sim.Cycle{1, 2, 3})
+	c.Observe(3)
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("merge rejected identical bounds: %v", err)
+	}
+	if a.Count() != 2 {
+		t.Fatalf("count after merge = %d, want 2", a.Count())
+	}
+}
+
+// TestHistogramQuantileEdges pins Quantile's edge behavior: empty,
+// single-element and p=100 inputs, plus ranks landing in the overflow
+// bucket (where the exact observed max is reported).
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := NewHistogram(nil)
+	for _, p := range []float64{1, 50, 100} {
+		if got := empty.Quantile(p); got != 0 {
+			t.Errorf("empty p%v = %d, want 0", p, got)
+		}
+	}
+	single := NewHistogram(nil)
+	single.Observe(37)
+	for _, p := range []float64{0.01, 1, 50, 99, 100} {
+		if got := single.Quantile(p); got != 37 {
+			t.Errorf("single-element p%v = %d, want 37", p, got)
+		}
+	}
+	overflow := NewHistogram([]sim.Cycle{10, 20})
+	overflow.Observe(5)
+	overflow.Observe(123456) // overflow bucket
+	if got := overflow.Quantile(100); got != 123456 {
+		t.Errorf("overflow p100 = %d, want the exact max 123456", got)
+	}
+	if got := overflow.Quantile(50); got != 10 {
+		t.Errorf("p50 = %d, want bucket bound 10", got)
+	}
+}

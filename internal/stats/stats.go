@@ -59,6 +59,16 @@ type Collector struct {
 	ejected  uint64
 	measured uint64
 
+	// dropped counts packets discarded by the network (dead links,
+	// unreachable destinations); duplicates counts redundant deliveries
+	// suppressed at sink NIs; retransmits counts re-injected copies
+	// issued by the end-to-end reliability layer. Every physical packet
+	// ends in exactly one of ejected, dropped or duplicates, which is
+	// what keeps InFlight draining to zero under faults.
+	dropped     uint64
+	duplicates  uint64
+	retransmits uint64
+
 	latSum float64
 	netSum float64
 	hopSum float64
@@ -101,6 +111,20 @@ func (c *Collector) ensureHists() {
 // RecordCreation notes that a packet was offered to the network.
 func (c *Collector) RecordCreation(*flit.Packet) { c.created++ }
 
+// RecordDrop notes that a packet was discarded by the network — at a
+// dead link, or because no path to its destination survives the fault
+// set. Called at most once per physical packet.
+func (c *Collector) RecordDrop(*flit.Packet) { c.dropped++ }
+
+// RecordDuplicate notes that a sink NI suppressed a redundant delivery
+// of an already-delivered packet.
+func (c *Collector) RecordDuplicate(*flit.Packet) { c.duplicates++ }
+
+// RecordRetransmit notes that a source NI re-injected an unacknowledged
+// packet. The copy is also recorded with RecordCreation, so unique
+// offered packets = Created() - Retransmits().
+func (c *Collector) RecordRetransmit(*flit.Packet) { c.retransmits++ }
+
 // RecordEjection records a completed packet. The packet must have its
 // CreatedAt and EjectedAt stamps set.
 func (c *Collector) RecordEjection(p *flit.Packet) {
@@ -139,8 +163,32 @@ func (c *Collector) Ejected() uint64 { return c.ejected }
 // Measured returns the number of packets included in latency statistics.
 func (c *Collector) Measured() uint64 { return c.measured }
 
-// InFlight returns the number of packets offered but not yet delivered.
-func (c *Collector) InFlight() uint64 { return c.created - c.ejected }
+// Dropped returns the number of packets discarded by the network.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Duplicates returns the number of deliveries suppressed as duplicates.
+func (c *Collector) Duplicates() uint64 { return c.duplicates }
+
+// Retransmits returns the number of re-injected packet copies.
+func (c *Collector) Retransmits() uint64 { return c.retransmits }
+
+// InFlight returns the number of packets offered and still owned by the
+// network: not yet delivered, discarded, or suppressed as duplicates.
+func (c *Collector) InFlight() uint64 {
+	return c.created - c.ejected - c.dropped - c.duplicates
+}
+
+// DeliveryRatio returns delivered unique packets over offered unique
+// packets — ejected / (created - retransmits) — or 1 when nothing was
+// offered. With end-to-end retransmission enabled it reaches 1.0 exactly
+// when every offered packet was eventually delivered.
+func (c *Collector) DeliveryRatio() float64 {
+	unique := c.created - c.retransmits
+	if unique == 0 {
+		return 1
+	}
+	return float64(c.ejected) / float64(unique)
+}
 
 // AvgLatency returns the mean packet latency in cycles (creation to
 // ejection), or 0 with no measured packets (see the warmup edge case in
@@ -252,6 +300,9 @@ func (c *Collector) Merge(other *Collector) error {
 	}
 	c.created += other.created
 	c.ejected += other.ejected
+	c.dropped += other.dropped
+	c.duplicates += other.duplicates
+	c.retransmits += other.retransmits
 	c.flits += other.flits
 	c.latSum += other.latSum
 	c.netSum += other.netSum
@@ -295,6 +346,11 @@ type Snapshot struct {
 	Measured uint64 `json:"measured"`
 	InFlight uint64 `json:"in_flight"`
 
+	Dropped       uint64  `json:"dropped"`
+	Duplicates    uint64  `json:"duplicates"`
+	Retransmits   uint64  `json:"retransmits"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+
 	AvgLatency        float64 `json:"avg_latency"`
 	AvgNetworkLatency float64 `json:"avg_network_latency"`
 
@@ -310,8 +366,10 @@ type Snapshot struct {
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
 		Created: c.created, Ejected: c.ejected, Measured: c.measured,
-		InFlight:   c.InFlight(),
-		AvgLatency: c.AvgLatency(), AvgNetworkLatency: c.AvgNetworkLatency(),
+		InFlight: c.InFlight(),
+		Dropped:  c.dropped, Duplicates: c.duplicates, Retransmits: c.retransmits,
+		DeliveryRatio: c.DeliveryRatio(),
+		AvgLatency:    c.AvgLatency(), AvgNetworkLatency: c.AvgNetworkLatency(),
 	}
 	if c.measured > 0 {
 		s.Latency = c.lat.Snapshot()
@@ -339,6 +397,10 @@ func (c *Collector) Summary() string {
 	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
 	app("created %d ejected %d measured %d in-flight %d\n",
 		c.created, c.ejected, c.measured, c.InFlight())
+	if c.dropped != 0 || c.duplicates != 0 || c.retransmits != 0 {
+		app("dropped %d duplicates %d retransmits %d\n",
+			c.dropped, c.duplicates, c.retransmits)
+	}
 	app("latency avg %v net %v min %d max %d\n",
 		c.AvgLatency(), c.AvgNetworkLatency(), c.MinLatency(), c.latMax)
 	app("latency p50 %v p95 %v p99 %v\n",

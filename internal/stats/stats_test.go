@@ -293,3 +293,32 @@ func TestIntPercentile(t *testing.T) {
 		}
 	}
 }
+
+// TestIntPercentileEdges is the edge table for nearest-rank extraction:
+// empty, single-element, and boundary percentiles (clamped, never
+// indexing out of range).
+func TestIntPercentileEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []int
+		p    float64
+		want int
+	}{
+		{"empty/p50", nil, 50, 0},
+		{"empty/p100", []int{}, 100, 0},
+		{"single/p0.01", []int{7}, 0.01, 7},
+		{"single/p50", []int{7}, 50, 7},
+		{"single/p100", []int{7}, 100, 7},
+		{"pair/p50", []int{9, 3}, 50, 3},
+		{"pair/p51", []int{9, 3}, 51, 9},
+		{"pair/p100", []int{9, 3}, 100, 9},
+		{"clamp/p0", []int{5, 6, 7}, 0, 5},
+		{"clamp/p150", []int{5, 6, 7}, 150, 7},
+		{"clamp/negative", []int{5, 6, 7}, -10, 5},
+	}
+	for _, tc := range cases {
+		if got := IntPercentile(tc.vals, tc.p); got != tc.want {
+			t.Errorf("%s: IntPercentile(%v, %v) = %d, want %d", tc.name, tc.vals, tc.p, got, tc.want)
+		}
+	}
+}

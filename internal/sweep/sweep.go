@@ -9,14 +9,28 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// jobPanic carries a worker panic back to Run's caller with the job that
+// caused it, instead of crashing the process from a worker goroutine
+// with a scheduler-mangled trace.
+type jobPanic struct {
+	job   int
+	value any
+}
 
 // Run executes job(0..n-1) on up to workers goroutines and returns the
 // results in index order. workers <= 0 selects GOMAXPROCS. Jobs must be
 // independent; each should derive any randomness from its index so the
 // sweep is deterministic regardless of scheduling.
+//
+// A panicking job does not kill the process from inside a worker:
+// the first panic (by completion order) is captured with its job index,
+// the remaining workers wind down, and Run re-panics on the caller's
+// goroutine with the job index prepended to the original value.
 func Run[T any](n, workers int, job func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -29,6 +43,7 @@ func Run[T any](n, workers int, job func(i int) T) []T {
 	}
 	results := make([]T, n)
 	var next int
+	var failed *jobPanic
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -39,15 +54,30 @@ func Run[T any](n, workers int, job func(i int) T) []T {
 				mu.Lock()
 				i := next
 				next++
+				stop := i >= n || failed != nil
 				mu.Unlock()
-				if i >= n {
+				if stop {
 					return
 				}
-				results[i] = job(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if failed == nil {
+								failed = &jobPanic{job: i, value: r}
+							}
+							mu.Unlock()
+						}
+					}()
+					results[i] = job(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if failed != nil {
+		panic(fmt.Sprintf("sweep: job %d panicked: %v", failed.job, failed.value))
+	}
 	return results
 }
 

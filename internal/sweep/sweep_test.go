@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -112,4 +114,59 @@ func TestRunNestedNetworkWorkers(t *testing.T) {
 				i, parallel[i], serial[i])
 		}
 	}
+}
+
+// TestRunPanicPropagation: a panicking job must not crash the process
+// from a worker goroutine; Run re-panics on the caller's goroutine with
+// the job index and the original panic value in the message.
+func TestRunPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run swallowed the job panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("re-panic value %T, want string", r)
+		}
+		if !strings.Contains(msg, "job 13") || !strings.Contains(msg, "boom 13") {
+			t.Fatalf("re-panic message missing job context: %q", msg)
+		}
+	}()
+	Run(40, 4, func(i int) int {
+		if i == 13 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return i
+	})
+}
+
+// TestRunPanicStopsDispatch: after a panic is captured, workers stop
+// claiming new jobs rather than burning through the remaining queue.
+func TestRunPanicStopsDispatch(t *testing.T) {
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		Run(1000, 2, func(i int) int {
+			ran.Add(1)
+			if i == 0 {
+				panic("first job dies")
+			}
+			return i
+		})
+	}()
+	if n := ran.Load(); n == 1000 {
+		t.Error("all jobs ran after the panic; dispatch did not stop")
+	}
+}
+
+// TestRunFirstPanicWins: with several panicking jobs, the reported one
+// is the first captured, and exactly one panic escapes.
+func TestRunFirstPanicWins(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic propagated")
+		}
+	}()
+	Run(8, 8, func(i int) int { panic(i) })
 }

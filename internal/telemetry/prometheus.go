@@ -79,6 +79,14 @@ func (s *Server) writePrometheus(w io.Writer) {
 			"# TYPE gonoc_packets_measured_total counter\ngonoc_packets_measured_total %d\n", snap.Measured)
 		fmt.Fprintf(w, "# HELP gonoc_packets_in_flight Packets offered but not yet delivered.\n"+
 			"# TYPE gonoc_packets_in_flight gauge\ngonoc_packets_in_flight %d\n", snap.InFlight)
+		fmt.Fprintf(w, "# HELP gonoc_packets_dropped_total Packets discarded at dead links or for unreachable destinations.\n"+
+			"# TYPE gonoc_packets_dropped_total counter\ngonoc_packets_dropped_total %d\n", snap.Dropped)
+		fmt.Fprintf(w, "# HELP gonoc_packets_retransmitted_total Retransmitted packet copies injected by source NIs.\n"+
+			"# TYPE gonoc_packets_retransmitted_total counter\ngonoc_packets_retransmitted_total %d\n", snap.Retransmits)
+		fmt.Fprintf(w, "# HELP gonoc_packets_duplicate_total Duplicate deliveries suppressed at sink NIs.\n"+
+			"# TYPE gonoc_packets_duplicate_total counter\ngonoc_packets_duplicate_total %d\n", snap.Duplicates)
+		fmt.Fprintf(w, "# HELP gonoc_delivery_ratio Unique packets delivered per unique packet offered.\n"+
+			"# TYPE gonoc_delivery_ratio gauge\ngonoc_delivery_ratio %g\n", snap.DeliveryRatio)
 
 		writeHistogram(w, "gonoc_packet_latency_cycles",
 			"Creation-to-ejection packet latency distribution, in cycles.",

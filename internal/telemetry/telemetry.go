@@ -23,12 +23,14 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gonoc/internal/noc"
 	"gonoc/internal/obs"
@@ -149,11 +151,26 @@ func Attach(s *Server, n *noc.Network, every sim.Cycle) {
 // exactly that bug). A nil handler serves http.DefaultServeMux — which
 // is where net/http/pprof registers — and the returned address resolves
 // ":0" to the actual port.
-func ListenAndServe(addr string, h http.Handler) (net.Addr, error) {
+//
+// The returned shutdown function gracefully stops the server with
+// http.Server.Shutdown under a short deadline: in-flight scrapes get a
+// moment to finish and the listener is released before it returns, so a
+// caller that exits and restarts (or a test that reuses the port) never
+// races a dangling listener. It is safe to call more than once.
+func ListenAndServe(addr string, h http.Handler) (net.Addr, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	go func() { _ = http.Serve(ln, h) }()
-	return ln.Addr(), nil
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+	}
+	return ln.Addr(), shutdown, nil
 }

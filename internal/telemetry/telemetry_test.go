@@ -207,7 +207,7 @@ func TestScrapeWhileSteppingParallel(t *testing.T) {
 func TestListenAndServe(t *testing.T) {
 	srv := NewServer(nil)
 	srv.SetCycle(42)
-	addr, err := ListenAndServe("127.0.0.1:0", srv.Handler())
+	addr, shutdown, err := ListenAndServe("127.0.0.1:0", srv.Handler())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,9 +221,19 @@ func TestListenAndServe(t *testing.T) {
 		t.Errorf("live scrape missing cycle gauge:\n%s", b)
 	}
 	// A second bind on the same concrete address must fail synchronously.
-	if _, err := ListenAndServe(addr.String(), srv.Handler()); err == nil {
+	if _, _, err := ListenAndServe(addr.String(), srv.Handler()); err == nil {
 		t.Error("duplicate bind did not fail")
 	}
+	// Graceful shutdown releases the listener: the same port rebinds
+	// immediately (this was the serve-command port-reuse flake) and
+	// shutdown is idempotent.
+	shutdown()
+	shutdown()
+	_, shutdown2, err := ListenAndServe(addr.String(), srv.Handler())
+	if err != nil {
+		t.Fatalf("rebind after shutdown failed: %v", err)
+	}
+	shutdown2()
 }
 
 // TestPublishEmptySnapshot: an all-warmup snapshot renders zero-valued

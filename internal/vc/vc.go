@@ -40,6 +40,11 @@ const (
 	// Active: a downstream VC is allocated; flits compete in switch
 	// allocation until the tail departs.
 	Active
+	// Dropping: routing found the destination unreachable (network
+	// partitioned by link/router faults); buffered flits are discarded
+	// one per cycle, returning credits upstream, until the tail frees
+	// the VC.
+	Dropping
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +58,8 @@ func (g GState) String() string {
 		return "V"
 	case Active:
 		return "A"
+	case Dropping:
+		return "D"
 	default:
 		return fmt.Sprintf("GState(%d)", uint8(g))
 	}
@@ -93,6 +100,12 @@ type VC struct {
 	// be returned for the VC the upstream allocated, not the one the flits
 	// were moved into.
 	CreditHome int
+
+	// DvcLo and DvcHi restrict VC allocation to the downstream VC range
+	// [DvcLo, DvcHi), set by fault-aware routing to pin the packet to a
+	// deadlock-free routing layer. Both zero (the reset state) means no
+	// restriction: the full message-class range is eligible.
+	DvcLo, DvcHi int
 }
 
 // NewVC returns an empty VC with the given buffer depth. It panics if
@@ -157,6 +170,7 @@ func (v *VC) ResetPacketState() {
 	v.FSP = false
 	v.SP = topology.Local
 	v.CreditHome = v.Index
+	v.DvcLo, v.DvcHi = 0, 0
 }
 
 // ClearBorrow clears the borrow-request fields (R2/VF/ID) after the lent
@@ -236,5 +250,6 @@ func (ip *InputPort) Transfer(src, dst int) {
 	d.G, d.R, d.OutVC = s.G, s.R, s.OutVC
 	d.SP, d.FSP = s.SP, s.FSP
 	d.CreditHome = s.CreditHome
+	d.DvcLo, d.DvcHi = s.DvcLo, s.DvcHi
 	s.ResetPacketState()
 }
