@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSimFlagValidation drives the shared sim flag group through build:
+// values the flag package parses but the simulator must not accept die
+// with a one-line usage error instead of being silently defaulted away.
+func TestSimFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the build error; "" means success
+	}{
+		{"defaults", nil, ""},
+		{"retx enabled", []string{"-retx-timeout", "500", "-retx-retries", "3", "-retx-buffer", "8"}, ""},
+		{"negative retries", []string{"-retx-timeout", "500", "-retx-retries", "-1"}, "-retx-retries must be >= 0"},
+		{"negative buffer", []string{"-retx-timeout", "500", "-retx-buffer", "-4"}, "-retx-buffer must be >= 0"},
+		{"retries without timeout", []string{"-retx-retries", "3"}, "need -retx-timeout"},
+		{"buffer without timeout", []string{"-retx-buffer", "8"}, "need -retx-timeout"},
+		{"negative rate", []string{"-rate", "-0.5"}, "-rate must be in [0, 1]"},
+		{"rate above one", []string{"-rate", "1.5"}, "-rate must be in [0, 1]"},
+		{"unknown pattern", []string{"-pattern", "zigzag"}, `unknown pattern "zigzag"`},
+		{"malformed inject", []string{"-inject", "bogus"}, "fault spec"},
+		{"inject unknown kind", []string{"-inject", "3:warp"}, `unknown kind "warp"`},
+		{"inject outside mesh", []string{"-width", "2", "-height", "2", "-inject", "9:router"}, "outside the 4-node mesh"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			sf := addSimFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("flag parse: %v", err)
+			}
+			n, err := sf.build(nil)
+			if n != nil {
+				n.Close()
+			}
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("build: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("build: want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("build: error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRetxTimeoutRejectsNegative pins the flag-level behavior for the
+// uint64 timeout: the flag package itself refuses a negative value, so
+// commands exit with a usage error before any simulation starts.
+func TestRetxTimeoutRejectsNegative(t *testing.T) {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addSimFlags(fs)
+	err := fs.Parse([]string{"-retx-timeout", "-5"})
+	if err == nil || !strings.Contains(err.Error(), "invalid value") {
+		t.Fatalf("parsing -retx-timeout -5: want invalid-value error, got %v", err)
+	}
+}

@@ -277,10 +277,35 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 	}
 }
 
+// validate rejects flag values the flag package parses happily but the
+// simulator would otherwise mangle silently: negative retransmission
+// knobs (Int flags accept "-1", and RetxConfig's zero-value defaulting
+// would quietly replace it) and retransmission knobs that are dead
+// because -retx-timeout is off. Each violation is a one-line usage
+// error; the commands exit non-zero on it.
+func (sf *simFlags) validate() error {
+	if *sf.retxRetries < 0 {
+		return fmt.Errorf("-retx-retries must be >= 0, got %d", *sf.retxRetries)
+	}
+	if *sf.retxBuffer < 0 {
+		return fmt.Errorf("-retx-buffer must be >= 0, got %d", *sf.retxBuffer)
+	}
+	if *sf.retxTimeout == 0 && (*sf.retxRetries > 0 || *sf.retxBuffer > 0) {
+		return fmt.Errorf("-retx-retries/-retx-buffer need -retx-timeout > 0 (retransmission is off)")
+	}
+	if *sf.rate < 0 || *sf.rate > 1 {
+		return fmt.Errorf("-rate must be in [0, 1], got %g", *sf.rate)
+	}
+	return nil
+}
+
 // build constructs the network, applies any -inject faults at cycle 0 and
 // attaches the random injector when -fault-mean is set. o may be nil for
 // an uninstrumented run.
 func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
+	if err := sf.validate(); err != nil {
+		return nil, err
+	}
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = !*sf.baseline
 	rc.Obs = o

@@ -1,0 +1,97 @@
+// Command nocvet runs gonoc's invariant analyzer suite over the module.
+//
+// Usage:
+//
+//	go run ./cmd/nocvet [-tags taglist] [-run name,name] [packages]
+//
+// With no packages it analyzes ./.... It prints one line per finding
+//
+//	file:line:col: [analyzer] message
+//
+// and exits 2 when any finding (or type error) survives, so CI can gate
+// on it exactly like go vet. Findings are suppressed in place with
+// "//nocvet:ignore <analyzer> <reason>" on the offending line or the
+// line above it.
+//
+// The analyzers and the rules they enforce are documented in
+// internal/analysis and in DESIGN.md's "Machine-checked invariants"
+// section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gonoc/internal/analysis"
+)
+
+func main() {
+	tags := flag.String("tags", "", "build tags for package loading (comma-separated)")
+	runOnly := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nocvet [-tags taglist] [-run name,name] [packages]")
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	findings, err := run(os.Stdout, *tags, *runOnly, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
+		os.Exit(1)
+	}
+	if findings > 0 {
+		os.Exit(2)
+	}
+}
+
+// run loads the packages and applies the selected analyzers, printing
+// findings to w and returning their count.
+func run(w io.Writer, tags, runOnly string, patterns []string) (int, error) {
+	analyzers := analysis.All()
+	if runOnly != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(runOnly, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return 0, fmt.Errorf("unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := analysis.Load(root, tags, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(w, "%v\n", terr)
+			findings++
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return findings, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s\n", d)
+			findings++
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,204 @@
+// Package analysis is gonoc's invariant linter framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface the nocvet analyzers are written against.
+//
+// The repository's headline guarantees — bit-exact parallel stepping and
+// credit-conserving fault recovery — rest on coding rules ("no wall-clock
+// time in simulation code", "credit counters change only through the
+// audited accessors") that ordinary go vet cannot express. Each rule is a
+// *Analyzer here; cmd/nocvet runs the whole suite over the module and
+// exits non-zero on findings, so CI mechanically enforces what would
+// otherwise be convention.
+//
+// The framework deliberately mirrors go/analysis: an Analyzer has a Name,
+// a Doc string and a Run function receiving a *Pass with the package's
+// syntax, type information and a Report sink. Porting the analyzers to
+// the real x/tools framework, should the dependency ever become
+// available, is a mechanical change.
+//
+// # Suppression
+//
+// A finding can be waived in place with
+//
+//	//nocvet:ignore <analyzer> <reason>
+//
+// placed on the offending line or alone on the line directly above it.
+// The directive names exactly one analyzer; other analyzers still report
+// on that line. The reason is required — an unexplained waiver is itself
+// reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //nocvet:ignore
+	// directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description: the rule, and which guarantee
+	// it protects.
+	Doc string
+	// Run executes the check over one package, reporting findings
+	// through pass.Report. It returns an error only for internal
+	// failures, not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file of the package.
+	Fset *token.FileSet
+	// Files is the package's syntax, including in-package _test.go
+	// files. External (package foo_test) test files form their own Pass.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// PkgPath is the import path the analyzers scope on. For external
+	// test packages it is the package under test's path plus "_test";
+	// fixture packages may carry a fake path.
+	PkgPath string
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the reporting analyzer.
+	Analyzer string
+	// Message describes the violation and the fix.
+	Message string
+}
+
+// String formats the finding the way cmd/nocvet prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is the parsed form of a //nocvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// IgnorePrefix is the suppression directive's comment prefix.
+const IgnorePrefix = "//nocvet:ignore"
+
+// parseIgnores extracts every //nocvet:ignore directive of the files,
+// keyed by (filename, line) for both the directive's own line and, for a
+// directive standing alone on its line, the line below it.
+func parseIgnores(fset *token.FileSet, files []*ast.File) (byLine map[string]map[int][]ignoreDirective, malformed []Diagnostic) {
+	byLine = make(map[string]map[int][]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "nocvet",
+						Message:  "malformed //nocvet:ignore: want \"//nocvet:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				d := ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+				}
+				m := byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]ignoreDirective)
+					byLine[pos.Filename] = m
+				}
+				// The directive covers its own line (trailing form) and
+				// the line below it (standalone form).
+				m[pos.Line] = append(m[pos.Line], d)
+				m[pos.Line+1] = append(m[pos.Line+1], d)
+			}
+		}
+	}
+	return byLine, malformed
+}
+
+// RunAnalyzers executes the analyzers over the package and returns the
+// surviving findings: //nocvet:ignore-suppressed findings are dropped,
+// and malformed directives are themselves reported. Findings are sorted
+// by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	ignores, malformed := parseIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(ignores, d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// suppressed reports whether an ignore directive for d's analyzer covers
+// d's line.
+func suppressed(ignores map[string]map[int][]ignoreDirective, d Diagnostic) bool {
+	for _, dir := range ignores[d.Pos.Filename][d.Pos.Line] {
+		if dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

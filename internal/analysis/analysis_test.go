@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestParseIgnores covers the directive grammar directly: coverage of the
+// directive's own line and the line below, and the malformed
+// (reason-less) form being reported instead of honored.
+func TestParseIgnores(t *testing.T) {
+	src := `package p
+
+func a() {
+	//nocvet:ignore determinism standalone with reason
+	_ = 1
+	_ = 2 //nocvet:ignore creditflow trailing with reason
+	//nocvet:ignore determinism
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine, malformed := parseIgnores(fset, []*ast.File{f})
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives: got %d, want 1 (%v)", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed //nocvet:ignore") {
+		t.Errorf("malformed message = %q", malformed[0].Message)
+	}
+	if malformed[0].Pos.Line != 7 {
+		t.Errorf("malformed directive line = %d, want 7", malformed[0].Pos.Line)
+	}
+
+	covers := func(line int, analyzer string) bool {
+		for _, d := range byLine["ignore.go"][line] {
+			if d.analyzer == analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	// Standalone form: own line (4) and the line below (5).
+	if !covers(4, "determinism") || !covers(5, "determinism") {
+		t.Error("standalone directive must cover its line and the next")
+	}
+	// Trailing form covers its own line.
+	if !covers(6, "creditflow") {
+		t.Error("trailing directive must cover its line")
+	}
+	// The malformed directive must not suppress anything.
+	if covers(8, "determinism") {
+		t.Error("reason-less directive must not suppress")
+	}
+}

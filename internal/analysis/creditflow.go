@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CreditFlow gives credit conservation a single audited mutation
+// surface.
+//
+// The network-level invariant (noc.CheckInvariants, asserted per tick
+// under the nocassert build tag) proves that for every link
+//
+//	credits + occupancy + in-flight flits + in-flight credits
+//	  + pending grants = Depth
+//
+// That proof is only as strong as the set of places credits can change.
+// This analyzer flags arithmetic mutation (++, --, +=, -=) of any credit
+// counter — a variable or field whose name contains "credit" — in
+// simulation packages, unless the enclosing function is marked
+// //noc:credit-accessor. The accessors bundle the mutation with its
+// overflow/underflow panic, so every credit movement is bounds-checked.
+//
+// Test files are exempt: tests legitimately model upstream credit loops
+// of their own.
+var CreditFlow = &Analyzer{
+	Name: "creditflow",
+	Doc:  "flag credit-counter arithmetic outside the //noc:credit-accessor surface",
+	Run:  runCreditFlow,
+}
+
+func runCreditFlow(pass *Pass) error {
+	if !inSimScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || funcHasMarker(fd, MarkerCreditAccessor) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// Function literals do not inherit the accessor
+					// marker; they are part of the enclosing function's
+					// body and checked with it.
+					return true
+				case *ast.IncDecStmt:
+					if v := creditTarget(pass.TypesInfo, n.X); v != nil {
+						pass.Reportf(n.Pos(), "direct %s of credit counter %s outside a %s function: route credit changes through the audited accessors so conservation stays checkable", opWord(n.Tok), v.Name(), MarkerCreditAccessor)
+					}
+				case *ast.AssignStmt:
+					if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if v := creditTarget(pass.TypesInfo, lhs); v != nil {
+							pass.Reportf(n.Pos(), "direct %s of credit counter %s outside a %s function: route credit changes through the audited accessors so conservation stays checkable", opWord(n.Tok), v.Name(), MarkerCreditAccessor)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// opWord names the mutating operator in the finding.
+func opWord(tok token.Token) string {
+	switch tok {
+	case token.INC:
+		return "increment"
+	case token.DEC:
+		return "decrement"
+	case token.ADD_ASSIGN:
+		return "+="
+	case token.SUB_ASSIGN:
+		return "-="
+	}
+	return tok.String()
+}
+
+// creditTarget resolves an assignment target to the credit-counter
+// field it mutates, or nil. A target counts when a field on its
+// selector/index path has "credit" in its name (case-insensitive):
+// r.credits[p][v] and ni.credits[v] both match. Local variables are
+// exempt — credit counters live in router and NI state, and locals
+// named over credits are tallies, not the counters themselves.
+func creditTarget(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && isCreditName(v.Name()) {
+					return v
+				}
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isCreditName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "credit")
+}

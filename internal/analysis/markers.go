@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The //noc: markers wire the analyzers to the code they guard. Each is
+// written on its own line inside a declaration's doc comment (functions)
+// or in a struct field's doc or trailing line comment (fields).
+const (
+	// MarkerWorkerPool sanctions go/select statements inside the marked
+	// function: the compute-phase worker pool in internal/noc is the one
+	// place simulation code may spawn goroutines.
+	MarkerWorkerPool = "//noc:worker-pool"
+	// MarkerComputePhase marks a compute-phase entry point: the function
+	// (and everything statically reachable from it inside the package)
+	// runs concurrently across nodes and must stay node-local.
+	MarkerComputePhase = "//noc:compute-phase"
+	// MarkerCommitOnly marks a commit-side entry point: it mutates
+	// cross-node state and must never be reached from the compute phase.
+	MarkerCommitOnly = "//noc:commit-only"
+	// MarkerCommitted marks a struct field holding committed cross-node
+	// state: compute-phase code must not write it.
+	MarkerCommitted = "//noc:committed"
+	// MarkerCreditAccessor marks a function as part of the audited
+	// credit-mutation surface: credit-counter arithmetic is legal only
+	// inside marked functions.
+	MarkerCreditAccessor = "//noc:credit-accessor"
+)
+
+// hasMarker reports whether the comment group contains the marker on a
+// line of its own.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasMarker reports whether the function declaration carries the
+// marker in its doc comment.
+func funcHasMarker(decl *ast.FuncDecl, marker string) bool {
+	return hasMarker(decl.Doc, marker)
+}
+
+// markedFuncs returns the package's function objects whose declarations
+// carry the marker.
+func markedFuncs(pass *Pass, marker string) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !funcHasMarker(fd, marker) {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// markedFields returns the package's struct-field objects whose
+// declarations carry the marker (in the field's doc comment or trailing
+// line comment).
+func markedFields(pass *Pass, marker string) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc, marker) && !hasMarker(field.Comment, marker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// simPackages are the packages making up the simulated hardware model:
+// everything here must be deterministic and race-free under the sharded
+// compute phase, so the determinism, obsguard and creditflow analyzers
+// scope to this set. internal/stats rides along because the collectors
+// feed the bit-exact conformance comparisons.
+var simPackages = []string{
+	"gonoc/internal/core",
+	"gonoc/internal/noc",
+	"gonoc/internal/vc",
+	"gonoc/internal/arbiter",
+	"gonoc/internal/crossbar",
+	"gonoc/internal/router",
+	"gonoc/internal/ftrouters",
+	"gonoc/internal/stats",
+}
+
+// nocPackage is the one package whose marked worker pool may use
+// goroutines.
+const nocPackage = "gonoc/internal/noc"
+
+// basePkgPath strips the external-test suffix, so scoping treats a
+// package and its test packages alike.
+func basePkgPath(path string) string {
+	return strings.TrimSuffix(path, "_test")
+}
+
+// inSimScope reports whether the pass's package is one of the simulation
+// packages (or one of their test packages).
+func inSimScope(pass *Pass) bool {
+	p := basePkgPath(pass.PkgPath)
+	for _, s := range simPackages {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// PhaseSafety enforces the two-phase tick discipline that makes parallel
+// stepping bit-exact (PR 2).
+//
+// Network.Step splits each cycle into a compute phase — sharded across
+// workers, each node reading only last-cycle state — and a serial commit
+// phase that applies all cross-node effects in canonical node order.
+// Nothing but convention stops a future change from mutating committed
+// state inside the compute phase, which would turn a deterministic
+// simulation into a racy one that happens to pass small tests.
+//
+// The analyzer seeds from functions marked //noc:compute-phase (the
+// compute shards), walks the package's static call graph, and reports:
+//
+//   - calls from compute-reachable code to functions marked
+//     //noc:commit-only (the commit-side entry points);
+//   - writes from compute-reachable code to struct fields marked
+//     //noc:committed (committed cross-node state).
+//
+// The call graph covers direct calls and method calls resolved at
+// compile time within the package, including function literals, which
+// inherit their enclosing declaration's phase. Dynamic calls through
+// stored function values or interfaces are not traced; keep phase
+// boundaries out of such indirections.
+var PhaseSafety = &Analyzer{
+	Name: "phasesafety",
+	Doc:  "flag commit-phase work (commit-only calls, committed-state writes) reachable from the compute phase",
+	Run:  runPhaseSafety,
+}
+
+func runPhaseSafety(pass *Pass) error {
+	roots := markedFuncs(pass, MarkerComputePhase)
+	if len(roots) == 0 {
+		return nil
+	}
+	commitOnly := markedFuncs(pass, MarkerCommitOnly)
+	committed := markedFields(pass, MarkerCommitted)
+
+	// Map every function object to its declaration, and build the static
+	// intra-package call graph.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	callees := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := staticCallee(pass.TypesInfo, call); callee != nil {
+				if _, inPkg := decls[callee]; inPkg {
+					callees[obj] = append(callees[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Reachability from the compute roots.
+	reachable := map[*types.Func]bool{}
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, c := range callees[fn] {
+			walk(c)
+		}
+	}
+	for fn := range roots {
+		walk(fn)
+	}
+
+	// Deterministic reporting order: visit declarations in file order.
+	var ordered []*types.Func
+	for fn := range reachable {
+		if _, ok := decls[fn]; ok {
+			ordered = append(ordered, fn)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+
+	for _, fn := range ordered {
+		if commitOnly[fn] {
+			// The offending call edge is reported at the caller; flagging
+			// the commit-only function's own body would be noise.
+			continue
+		}
+		fd := decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if callee := staticCallee(pass.TypesInfo, n); callee != nil && commitOnly[callee] {
+					pass.Reportf(n.Pos(), "compute-phase code calls commit-only %s: cross-node effects must wait for the commit phase (reachable from a %s root)", callee.Name(), MarkerComputePhase)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if fld := committedFieldWrite(pass.TypesInfo, committed, lhs); fld != nil {
+						pass.Reportf(n.Pos(), "compute-phase code writes committed field %s: committed state may only change in the commit phase", fld.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if fld := committedFieldWrite(pass.TypesInfo, committed, n.X); fld != nil {
+					pass.Reportf(n.Pos(), "compute-phase code writes committed field %s: committed state may only change in the commit phase", fld.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// staticCallee resolves a call expression to the function or method
+// object it statically invokes, or nil for dynamic calls, conversions
+// and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// committedFieldWrite resolves an assignment target and returns the
+// committed field it writes, or nil. The selector chain's outermost
+// field decides: `n.seqNext[node]++` writes field seqNext.
+func committedFieldWrite(info *types.Info, committed map[*types.Var]bool, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && committed[v] {
+					return v
+				}
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the nocvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, PhaseSafety, ObsGuard, CreditFlow}
+}

@@ -1,0 +1,45 @@
+// Fixture: legal credit handling — mutation inside marked accessors,
+// reads anywhere, and local tallies that merely mention credits.
+package core
+
+type router struct {
+	credits [][]int
+	depth   int
+}
+
+// creditReturn bundles the mutation with its bounds panic: the accessor
+// surface the analyzer admits.
+//
+//noc:credit-accessor
+func (r *router) creditReturn(p, v int) {
+	r.credits[p][v]++
+	if r.credits[p][v] > r.depth {
+		panic("credit overflow")
+	}
+}
+
+//noc:credit-accessor
+func (r *router) creditSpend(p, v int) {
+	r.credits[p][v]--
+	if r.credits[p][v] < 0 {
+		panic("negative credit")
+	}
+}
+
+// audit only reads the counters, which is always fine.
+func (r *router) audit(p int) int {
+	total := 0
+	for v := range r.credits[p] {
+		total += r.credits[p][v]
+	}
+	return total
+}
+
+// wireCredits tallies into a local: locals are not the counters.
+func wireCredits(seen []int) int {
+	credits := 0
+	for range seen {
+		credits++
+	}
+	return credits
+}

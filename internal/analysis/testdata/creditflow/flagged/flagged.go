@@ -1,0 +1,28 @@
+// Fixture: credit-counter arithmetic outside the audited accessor
+// surface.
+package core
+
+type router struct {
+	credits [][]int
+	depth   int
+}
+
+type ni struct {
+	credits []int
+}
+
+func (r *router) acceptCredit(p, v int) {
+	r.credits[p][v]++ // want `direct increment of credit counter credits`
+}
+
+func (r *router) spend(p, v int) {
+	r.credits[p][v]-- // want `direct decrement of credit counter credits`
+}
+
+func (r *router) refill(p, v int) {
+	r.credits[p][v] += r.depth // want `direct \+= of credit counter credits`
+}
+
+func (n *ni) drain(v int) {
+	n.credits[v] -= 1 // want `direct -= of credit counter credits`
+}

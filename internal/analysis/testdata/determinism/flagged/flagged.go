@@ -1,0 +1,43 @@
+// Fixture: everything the determinism analyzer must flag inside a
+// simulation package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `use of time\.Now in simulation code`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `use of time\.Since in simulation code`
+}
+
+func globalDraw() int {
+	return rand.Intn(8) // want `use of global math/rand \(math/rand\.Intn\)`
+}
+
+func globalSeed() {
+	rand.Seed(42) // want `use of global math/rand \(math/rand\.Seed\)`
+}
+
+func orderLeak(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration writes to total declared outside the loop`
+		total += v
+	}
+	return total
+}
+
+func spawn() {
+	go func() {}() // want `go statement outside the sanctioned worker pool`
+}
+
+func wait(ch chan int) int {
+	select { // want `select statement outside the sanctioned worker pool`
+	case v := <-ch:
+		return v
+	}
+}

@@ -1,0 +1,21 @@
+// Fixture: the //noc:worker-pool marker sanctions goroutines and selects
+// inside the marked function — and only there — in internal/noc.
+package noc
+
+// startPool is the sanctioned compute pool.
+//
+//noc:worker-pool
+func startPool(n int, work chan int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			select {
+			case <-work:
+			case <-done:
+			}
+		}()
+	}
+}
+
+func rogue() {
+	go func() {}() // want `go statement outside the sanctioned worker pool`
+}

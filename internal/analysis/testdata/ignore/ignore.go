@@ -1,0 +1,24 @@
+// Fixture: //nocvet:ignore suppresses exactly the analyzer it names —
+// standalone above the line, or trailing on the line — and leaves other
+// analyzers' findings on the same lines intact.
+package core
+
+import "time"
+
+func suppressedStandalone() int64 {
+	//nocvet:ignore determinism fixture demonstrates suppression
+	return time.Now().UnixNano()
+}
+
+func suppressedTrailing() int64 {
+	return time.Now().UnixNano() //nocvet:ignore determinism trailing form
+}
+
+func wrongName(m map[string]int) int {
+	total := 0
+	//nocvet:ignore creditflow names an analyzer that did not report here
+	for _, v := range m { // want `map iteration writes to total`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+// Fixture: the sanctioned obs guard idioms — every call is dominated by
+// a nil check of its own receiver expression.
+package core
+
+import (
+	"gonoc/internal/obs"
+)
+
+type router struct {
+	obs *obs.RouterObs
+}
+
+func (r *router) boundGuard() {
+	if o := r.obs; o != nil {
+		o.SABypassGrant(0)
+	}
+}
+
+func (r *router) directGuard() {
+	if r.obs != nil {
+		r.obs.SABypassGrant(1)
+	}
+}
+
+func (r *router) earlyReturn() {
+	if r.obs == nil {
+		return
+	}
+	r.obs.SABypassGrant(2)
+}
+
+func (r *router) compoundCondition(busy bool) {
+	if r.obs != nil && busy {
+		r.obs.SABypassGrant(3)
+	}
+}
+
+func (r *router) negatedOr(busy bool) {
+	if r.obs == nil || busy {
+		return
+	}
+	r.obs.SABypassGrant(4)
+}

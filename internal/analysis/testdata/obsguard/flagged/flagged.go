@@ -1,0 +1,44 @@
+// Fixture: obs handle calls the guard analyzer must flag — unguarded,
+// guarded by the wrong handle, and invoked on a call result.
+package core
+
+import (
+	"gonoc/internal/obs"
+)
+
+type router struct {
+	obs *obs.RouterObs
+}
+
+type network struct {
+	o *obs.Observer
+}
+
+func (n *network) Obs() *obs.Observer { return n.o }
+
+func (r *router) unguarded() {
+	r.obs.SABypassGrant(0) // want `not dominated by a nil check`
+}
+
+func (r *router) unrelatedCondition(busy bool) {
+	if busy {
+		r.obs.SABypassGrant(1) // want `not dominated by a nil check`
+	}
+}
+
+func (r *router) wrongHandle(other *router) {
+	if other.obs != nil {
+		r.obs.SABypassGrant(2) // want `not dominated by a nil check`
+	}
+}
+
+func (r *router) guardLost() {
+	if r.obs != nil {
+		r.obs = nil
+	}
+	r.obs.SABypassGrant(3) // want `not dominated by a nil check`
+}
+
+func onCallResult(n *network) {
+	n.Obs().RecordFault(0, 0, 0, 0, 0, 0, 0, "") // want `on a call result: bind the handle to a variable`
+}

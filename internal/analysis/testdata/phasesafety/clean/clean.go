@@ -1,0 +1,30 @@
+// Fixture: a correctly phased tick — compute touches only node-local
+// state, commit-side work stays unreachable from the compute root.
+package noc
+
+type network struct {
+	cycle int //noc:committed
+	local []int
+}
+
+//noc:compute-phase
+func (n *network) compute(id int) {
+	n.local[id]++
+	n.nodeHelper(id)
+}
+
+func (n *network) nodeHelper(id int) {
+	n.local[id] += 2
+}
+
+//noc:commit-only
+func (n *network) commit() {
+	n.cycle++
+	n.finish()
+}
+
+// finish writes committed state but is reachable only from the commit
+// side, so it is fine unmarked.
+func (n *network) finish() {
+	n.cycle++
+}

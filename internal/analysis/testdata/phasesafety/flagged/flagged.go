@@ -1,0 +1,29 @@
+// Fixture: compute-phase code reaching commit-side work, both directly
+// and through an unmarked helper.
+package noc
+
+type network struct {
+	cycle   int //noc:committed
+	scratch []int
+}
+
+// compute is a compute-phase root: it may touch node-local state but
+// nothing committed.
+//
+//noc:compute-phase
+func (n *network) compute(id int) {
+	n.scratch[id]++
+	n.cycle++ // want `compute-phase code writes committed field cycle`
+	n.helper()
+}
+
+// helper is reachable from the compute phase, so its commit-only call is
+// a phase violation.
+func (n *network) helper() {
+	n.commitWork() // want `compute-phase code calls commit-only commitWork`
+}
+
+//noc:commit-only
+func (n *network) commitWork() {
+	n.cycle++
+}

@@ -12,10 +12,7 @@ import (
 // acceptInputs applies the latched credits and buffers the latched flits.
 func (r *Router) acceptInputs() {
 	for _, c := range r.inCredits {
-		r.credits[c.Out][c.VC]++
-		if r.credits[c.Out][c.VC] > r.cfg.Depth {
-			panic(fmt.Sprintf("core: router %d credit overflow on %v/vc%d", r.ID, c.Out, c.VC))
-		}
+		r.creditReturn(c.Out, c.VC)
 		if c.VCFree {
 			r.outVCBusy[c.Out][c.VC] = false
 		}
@@ -417,10 +414,7 @@ func (r *Router) saStage(cy sim.Cycle) {
 		}
 		win := winners[wp]
 		q := r.in[wp].VCs[win.vcIdx]
-		r.credits[win.outPort][q.OutVC]--
-		if r.credits[win.outPort][q.OutVC] < 0 {
-			panic(fmt.Sprintf("core: router %d negative credit on %v/vc%d", r.ID, win.outPort, q.OutVC))
-		}
+		r.creditSpend(win.outPort, q.OutVC)
 		r.grants = append(r.grants, grant{
 			inPort:    topology.Port(wp),
 			inVC:      win.vcIdx,
@@ -501,7 +495,7 @@ func (r *Router) xbStage(cy sim.Cycle) {
 			// No usable path remains this cycle: cancel the grant, refund
 			// the reserved credit, and let switch allocation retry (the
 			// retry re-evaluates SP/FSP against the new fault state).
-			r.credits[g.outPort][q.OutVC]++
+			r.creditReturn(g.outPort, q.OutVC)
 			continue
 		}
 		f := q.Pop()

@@ -309,6 +309,31 @@ var _ = flit.Head // keep the flit import referenced even if unused later
 // (p, v) — exposed for the network-level credit-conservation checker.
 func (r *Router) Credits(p topology.Port, v int) int { return r.credits[p][v] }
 
+// creditReturn is the audited entry point for adding a downstream credit
+// on (p, v): a credit arriving from the neighbour, or one refunded when a
+// grant is cancelled. It bundles the increment with its overflow panic so
+// every credit movement stays bounds-checked (see the creditflow
+// analyzer in internal/analysis).
+//
+//noc:credit-accessor
+func (r *Router) creditReturn(p topology.Port, v int) {
+	r.credits[p][v]++
+	if r.credits[p][v] > r.cfg.Depth {
+		panic(fmt.Sprintf("core: router %d credit overflow on %v/vc%d", r.ID, p, v))
+	}
+}
+
+// creditSpend is the audited entry point for reserving a downstream
+// credit on (p, v) for a granted flit, with its underflow panic.
+//
+//noc:credit-accessor
+func (r *Router) creditSpend(p topology.Port, v int) {
+	r.credits[p][v]--
+	if r.credits[p][v] < 0 {
+		panic(fmt.Sprintf("core: router %d negative credit on %v/vc%d", r.ID, p, v))
+	}
+}
+
 // PendingGrants counts switch-allocation grants awaiting crossbar
 // traversal whose flit will occupy downstream VC (p, v). The credit for
 // such a flit is already reserved, so the network's credit-conservation

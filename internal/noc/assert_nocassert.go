@@ -1,0 +1,95 @@
+//go:build nocassert
+
+// Runtime counterpart of the nocvet analyzers (internal/analysis): where
+// the analyzers prove structural rules about the source, this layer
+// checks the dynamic invariants those rules protect, once per tick.
+// Build with
+//
+//	go test -tags nocassert ./...
+//
+// to enable it; the default build compiles it out entirely (see
+// assert_off.go).
+package noc
+
+import (
+	"fmt"
+
+	"gonoc/internal/topology"
+	"gonoc/internal/vc"
+)
+
+// assertEnabled gates the per-tick runtime assertion layer: this build
+// has the nocassert tag, so Step verifies the network after every commit
+// phase.
+const assertEnabled = true
+
+// assertPostStep validates the network at the cycle boundary, after the
+// commit phase has drained all staged outputs:
+//
+//   - the global credit-conservation equation (CheckInvariants): for every
+//     inter-router link and VC, credits + occupancy + wire flits + wire
+//     credits + pending grants = Depth;
+//   - every virtual channel's state-machine consistency (checkVCState).
+//
+// A violation panics with the cycle and location: these are simulator
+// bugs, never workload conditions, so failing loudly at the first bad
+// cycle beats diagnosing the downstream wreckage.
+func (n *Network) assertPostStep() {
+	if err := n.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("nocassert: cycle %d: %v", n.cycle, err))
+	}
+	for id, r := range n.routers {
+		cfg := r.Config()
+		for p := 0; p < cfg.Ports; p++ {
+			for v := 0; v < cfg.VCs; v++ {
+				q := r.InputVC(topology.Port(p), v)
+				if err := checkVCState(q); err != nil {
+					panic(fmt.Sprintf("nocassert: cycle %d: router %d port %v vc%d: %v",
+						n.cycle, id, topology.Port(p), v, err))
+				}
+			}
+		}
+	}
+}
+
+// checkVCState validates one VC against the G state machine of Figure 3d
+// as it must look at a cycle boundary:
+//
+//	Idle     — no packet: buffer empty, no downstream VC held
+//	Routing  — head flit buffered, awaiting RC: no downstream VC yet
+//	VCAlloc  — head flit buffered, competing in VA: no downstream VC yet
+//	Active   — downstream VC allocated (buffer may be empty mid-packet)
+//	Dropping — discarding a doomed packet: no downstream VC held (the
+//	           buffer may be empty while body flits are still arriving)
+func checkVCState(q *vc.VC) error {
+	switch q.G {
+	case vc.Idle:
+		if !q.Empty() {
+			return fmt.Errorf("Idle VC holds %d flits", q.Len())
+		}
+		if q.OutVC != vc.None {
+			return fmt.Errorf("Idle VC holds downstream VC %d", q.OutVC)
+		}
+	case vc.Routing, vc.VCAlloc:
+		if q.OutVC != vc.None {
+			return fmt.Errorf("%v VC already holds downstream VC %d", q.G, q.OutVC)
+		}
+		if q.Empty() {
+			return fmt.Errorf("%v VC has no buffered flit", q.G)
+		}
+		if f := q.Front(); !f.Kind.IsHead() {
+			return fmt.Errorf("%v VC fronts a %v flit, want a head", q.G, f.Kind)
+		}
+	case vc.Active:
+		if q.OutVC == vc.None {
+			return fmt.Errorf("Active VC holds no downstream VC")
+		}
+	case vc.Dropping:
+		if q.OutVC != vc.None {
+			return fmt.Errorf("Dropping VC holds downstream VC %d", q.OutVC)
+		}
+	default:
+		return fmt.Errorf("unknown G state %d", uint8(q.G))
+	}
+	return nil
+}

@@ -162,6 +162,8 @@ func (n *Network) deadLink(id int, out topology.Port) bool {
 // dropAtLink discards one flit at a dead link, synthesizing the upstream
 // credit the neighbor would have returned so the sender's flow control
 // (and the network-wide credit-conservation invariant) stays exact.
+//
+//noc:commit-only
 func (n *Network) dropAtLink(id int, of router.OutFlit, _ sim.Cycle) {
 	n.inCredits[id] = append(n.inCredits[id],
 		core.CreditIn{Out: of.Out, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
@@ -170,6 +172,8 @@ func (n *Network) dropAtLink(id int, of router.OutFlit, _ sim.Cycle) {
 // dropIfUnreachable drops a freshly offered packet whose destination no
 // surviving path reaches (or whose source node is dead), recording the
 // drop, and reports whether it did.
+//
+//noc:commit-only
 func (n *Network) dropIfUnreachable(node int, p *flit.Packet, c sim.Cycle) bool {
 	if n.routes == nil {
 		return false
@@ -190,6 +194,8 @@ func (n *Network) dropIfUnreachable(node int, p *flit.Packet, c sim.Cycle) bool 
 // trackRetx records a freshly offered packet in its source's
 // retransmission buffer, if retransmission is enabled and the buffer has
 // room (packets offered past the bound travel unprotected).
+//
+//noc:commit-only
 func (n *Network) trackRetx(node int, p *flit.Packet, c sim.Cycle) {
 	if n.retxCfg.Timeout == 0 || len(n.retx[node]) >= n.retxCfg.Buffer {
 		return
@@ -205,6 +211,8 @@ func (n *Network) trackRetx(node int, p *flit.Packet, c sim.Cycle) {
 // retxScan fires expired retransmission timers. It runs in Step's serial
 // pre-phase in canonical node order, so retransmissions are bit-exact at
 // every Workers setting.
+//
+//noc:commit-only
 func (n *Network) retxScan(c sim.Cycle) {
 	if n.retxCfg.Timeout == 0 {
 		return
@@ -239,6 +247,8 @@ func (n *Network) retxScan(c sim.Cycle) {
 // keeps the original's sequence number (for duplicate suppression and
 // release) and CreatedAt stamp (so measured latency includes the loss),
 // under a fresh packet ID.
+//
+//noc:commit-only
 func (n *Network) retransmit(node int, e retxEntry, c sim.Cycle) {
 	p := &flit.Packet{
 		ID: n.nextID, Src: node, Dst: e.dst, Class: e.class, Size: e.size,
@@ -258,6 +268,8 @@ func (n *Network) retransmit(node int, e retxEntry, c sim.Cycle) {
 
 // releaseRetx removes the retransmission entry for (src, seq) after the
 // sink saw its first delivery.
+//
+//noc:commit-only
 func (n *Network) releaseRetx(src int, seq uint64) {
 	entries := n.retx[src]
 	for i := range entries {
@@ -272,6 +284,8 @@ func (n *Network) releaseRetx(src int, seq uint64) {
 // packet (same source, same sequence number), marking it delivered
 // otherwise. The per-source window compacts as its floor advances, so
 // memory tracks only out-of-order deliveries.
+//
+//noc:commit-only
 func (n *Network) isDuplicate(node int, p *flit.Packet) bool {
 	m := n.delivered[node]
 	if m == nil {

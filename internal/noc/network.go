@@ -126,14 +126,16 @@ type Network struct {
 	nis     []*NI
 	traffic Traffic
 	stats   *stats.Collector
-	cycle   sim.Cycle
-	nextID  uint64
+	cycle   sim.Cycle //noc:committed
+	nextID  uint64    //noc:committed
 
 	// hooks run at the start of every cycle (fault injection, probes).
 	hooks []func(c sim.Cycle)
 
 	// linkFlits counts flits sent per (router, output port), for
 	// utilization analysis and the heatmap.
+	//
+	//noc:committed
 	linkFlits [][]uint64
 
 	// obsNodes holds each node's pre-bound observability handle, all nil
@@ -157,24 +159,24 @@ type Network struct {
 	// marked); routerDead marks completely failed routers. routes is the
 	// fault-aware routing table, nil while the network is fault-free —
 	// routing is then the exact XY baseline.
-	linkDead   [][]bool
-	routerDead []bool
-	routes     *routeTable
+	linkDead   [][]bool    //noc:committed
+	routerDead []bool      //noc:committed
+	routes     *routeTable //noc:committed
 
 	// Per-(node, output port, downstream VC) wormhole link state.
 	// midFlight marks a packet whose head crossed the link while it was
 	// alive (such packets complete gracefully if the link then dies);
 	// linkDrop marks a packet being discarded at a dead link, from its
 	// dropped head until its tail.
-	midFlight [][][]bool
-	linkDrop  [][][]bool
+	midFlight [][][]bool //noc:committed
+	linkDrop  [][][]bool //noc:committed
 
 	// End-to-end retransmission state: per-source sequence numbers,
 	// retransmission buffers, and per-sink duplicate-suppression windows
 	// keyed by source node. retxCfg is cfg.Retx with defaults resolved.
-	seqNext   []uint64
-	retx      [][]retxEntry
-	delivered []map[int]*seqWindow
+	seqNext   []uint64             //noc:committed
+	retx      [][]retxEntry        //noc:committed
+	delivered []map[int]*seqWindow //noc:committed
 	retxCfg   RetxConfig
 
 	// workers is the resolved compute-phase shard count (>= 1); pool is
@@ -336,7 +338,10 @@ func (n *Network) Obs() *obs.Observer { return n.cfg.Router.Obs }
 // offer stamps and enqueues a packet at node. With network faults
 // present, packets whose destination is unreachable (and every packet at
 // a dead node) are dropped here, with the drop counted, instead of
-// entering the network to hang.
+// entering the network to hang. It allocates from the shared packet-ID
+// and sequence counters, so it must only run in Step's serial phases.
+//
+//noc:commit-only
 func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 	p.ID = n.nextID
 	n.nextID++
@@ -409,6 +414,9 @@ func (n *Network) Step() {
 	}
 
 	n.commit(c)
+	if assertEnabled {
+		n.assertPostStep()
+	}
 	n.cycle++
 }
 
@@ -417,7 +425,11 @@ func (n *Network) Step() {
 // into the router's local port) and tick the router. Everything touched
 // here is either owned by node id or safe for concurrent use (obs
 // counters are atomic, the tracer is locked), so computeNode runs
-// concurrently for distinct nodes.
+// concurrently for distinct nodes. The phasesafety analyzer (see
+// internal/analysis) checks that nothing reachable from here calls a
+// //noc:commit-only function or writes a //noc:committed field.
+//
+//noc:compute-phase
 func (n *Network) computeNode(id int, c sim.Cycle) {
 	r := n.routers[id]
 	for _, w := range n.inFlits[id] {
@@ -446,6 +458,8 @@ func (n *Network) computeNode(id int, c sim.Cycle) {
 // router (crediting the sender so its flow control unwinds exactly) and
 // latches everything crossing a live link into the destination node's
 // inbound buckets for delivery next cycle.
+//
+//noc:commit-only
 func (n *Network) commit(c sim.Cycle) {
 	for id := range n.routers {
 		for _, pkt := range n.routers[id].TakeDropped() {
@@ -547,6 +561,10 @@ func (n *Network) commit(c sim.Cycle) {
 
 // startPool spawns the persistent compute workers, each owning a fixed
 // contiguous shard of nodes so every bucket has exactly one writer.
+// This is the only sanctioned goroutine spawn in simulation code (the
+// determinism analyzer in internal/analysis flags any other).
+//
+//noc:worker-pool
 func (n *Network) startPool() {
 	p := &stepPool{start: make([]chan sim.Cycle, n.workers)}
 	nodes := len(n.routers)

@@ -89,12 +89,32 @@ func (ni *NI) Sending() bool { return len(ni.active) > 0 }
 // acceptCredit processes a credit returned by the router's local input
 // port.
 func (ni *NI) acceptCredit(c router.Credit) {
-	ni.credits[c.VC]++
-	if ni.credits[c.VC] > ni.cfg.Depth {
-		panic(fmt.Sprintf("noc: NI %d credit overflow on vc%d", ni.node, c.VC))
-	}
+	ni.creditReturn(c.VC)
 	if c.VCFree {
 		ni.vcBusy[c.VC] = false
+	}
+}
+
+// creditReturn is the audited entry point for adding a local-link credit
+// on VC v, with its overflow panic (see the creditflow analyzer in
+// internal/analysis).
+//
+//noc:credit-accessor
+func (ni *NI) creditReturn(v int) {
+	ni.credits[v]++
+	if ni.credits[v] > ni.cfg.Depth {
+		panic(fmt.Sprintf("noc: NI %d credit overflow on vc%d", ni.node, v))
+	}
+}
+
+// creditSpend is the audited entry point for consuming a local-link
+// credit on VC v when a flit enters the router, with its underflow panic.
+//
+//noc:credit-accessor
+func (ni *NI) creditSpend(v int) {
+	ni.credits[v]--
+	if ni.credits[v] < 0 {
+		panic(fmt.Sprintf("noc: NI %d negative credit on vc%d", ni.node, v))
 	}
 }
 
@@ -135,7 +155,7 @@ func (ni *NI) tick(cy sim.Cycle) {
 		if ni.obs != nil {
 			ni.obs.NIFlitSent()
 		}
-		ni.credits[v]--
+		ni.creditSpend(v)
 		if len(fl) == 1 {
 			delete(ni.active, v)
 		} else {

@@ -3,6 +3,7 @@ package noc
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 
 	"gonoc/internal/obs"
@@ -140,8 +141,10 @@ func TestObsDisabledNetworkRuns(t *testing.T) {
 
 func keys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
+	//nocvet:ignore determinism collected keys are sorted before use
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
