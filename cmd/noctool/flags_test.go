@@ -28,6 +28,16 @@ func TestSimFlagValidation(t *testing.T) {
 		{"malformed inject", []string{"-inject", "bogus"}, "fault spec"},
 		{"inject unknown kind", []string{"-inject", "3:warp"}, `unknown kind "warp"`},
 		{"inject outside mesh", []string{"-width", "2", "-height", "2", "-inject", "9:router"}, "outside the 4-node mesh"},
+		{"torus", []string{"-topo", "torus"}, ""},
+		{"torus tornado", []string{"-topo", "torus", "-pattern", "tornado", "-width", "4", "-height", "4"}, ""},
+		{"cmesh", []string{"-topo", "cmesh", "-conc", "4"}, ""},
+		{"unknown topo", []string{"-topo", "hypercube"}, `unknown kind "hypercube"`},
+		{"negative conc", []string{"-topo", "cmesh", "-conc", "-2"}, "concentration"},
+		{"inject outside torus", []string{"-topo", "torus", "-width", "4", "-height", "4", "-inject", "99:sa1:e"},
+			"outside the 16-node torus"},
+		{"torus rejects link faults", []string{"-topo", "torus", "-inject", "5:link:e"}, "not supported on a torus"},
+		{"torus rejects router faults", []string{"-topo", "torus", "-inject", "5:router"}, "not supported on a torus"},
+		{"cmesh link fault ok", []string{"-topo", "cmesh", "-conc", "2", "-inject", "5:link:e"}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

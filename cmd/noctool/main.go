@@ -13,6 +13,7 @@
 //	noctool spans             Simulate and print per-packet hop-span breakdowns
 //	noctool trace             Simulate and write a cycle-accurate event trace
 //	noctool ablation          Design-choice sweeps
+//	noctool bench             Step-loop scaling benchmark (BENCH_scaling.json)
 //	noctool record / replay   Record and replay offered-traffic traces
 //
 // The global -pprof flag (before the command) serves net/http/pprof for
@@ -31,6 +32,7 @@ import (
 	"gonoc/internal/fault"
 	"gonoc/internal/noc"
 	"gonoc/internal/obs"
+	"gonoc/internal/perf"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/telemetry"
@@ -90,6 +92,8 @@ func main() {
 		err = runTrace(args)
 	case "ablation":
 		err = runAblation(args)
+	case "bench":
+		err = runBench(args)
 	case "record":
 		err = runRecord(args)
 	case "replay":
@@ -128,11 +132,19 @@ commands:
   trace      run a simulation and write a cycle-accurate event trace
              (-format chrome opens in chrome://tracing or ui.perfetto.dev)
   ablation   design-choice sweeps (bypass rotation, VC count, secondary path)
+  bench      measure step-loop throughput and steady-state allocations
+             across mesh sizes, worker counts and topologies; -o writes
+             the BENCH_scaling.json snapshot (see BENCHMARKS.md)
   record     record a workload's offered packets to a trace file
   replay     replay a recorded trace (optionally with faults)
 
 global flags (before the command):
   -pprof addr   serve net/http/pprof on addr (e.g. -pprof :6060)
+
+The simulation commands accept -topo mesh|torus|cmesh (with -conc for
+cmesh concentration) on any -width x -height router grid. Torus links
+wrap around; fault injection of whole links/routers needs a mesh or
+cmesh (minimal torus routes have no detour freedom).
 
 sim, serve, metrics, spans and trace accept -inject with comma-separated
 fault specs <router>:<kind>[:<port>[:<vc>]], e.g. -inject 5:sa1:e,0:va1:n:2;
@@ -178,6 +190,8 @@ func runCampaign(args []string) error {
 	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "designs campaigned in parallel (0 = all cores)")
+	width := fs.Int("width", 0, "mesh width for the -inject delivery campaign (0 = the study default)")
+	height := fs.Int("height", 0, "mesh height for the -inject delivery campaign (0 = the study default)")
 	inject := fs.String("inject", "", "comma-separated fault specs (e.g. 5:link:e,10:router): "+
 		"run the network-fault delivery campaign over these scenarios instead of the Monte-Carlo table")
 	telemetryAddr := fs.String("telemetry", "",
@@ -202,12 +216,26 @@ func runCampaign(args []string) error {
 		cfg := experiments.DefaultLinkFaultConfig()
 		cfg.Seed = *seed
 		cfg.Workers = *workers
+		if *width > 0 {
+			cfg.Width = *width
+		}
+		if *height > 0 {
+			cfg.Height = *height
+		}
 		scenarios, err := experiments.ScenariosFromSpecs(*inject)
 		if err != nil {
 			return err
 		}
+		// ScenariosFromSpecs only checks the grammar; range-check the
+		// specs against the campaign's actual grid before any trial runs.
+		if err := experiments.ValidateScenarios(cfg, scenarios); err != nil {
+			return err
+		}
 		fmt.Print(experiments.FormatLinkFault(experiments.LinkFaultStudy(cfg, scenarios)))
 		return nil
+	}
+	if *width > 0 || *height > 0 {
+		return fmt.Errorf("-width/-height only apply to the -inject delivery campaign")
 	}
 	fmt.Print(experiments.FormatCampaign(experiments.CampaignTableObserved(*trials, *seed, *workers, onTrial)))
 	return nil
@@ -239,6 +267,8 @@ func runLatency(args []string) error {
 // and trace commands.
 type simFlags struct {
 	width, height *int
+	topo          *string
+	conc          *int
 	rate          *float64
 	pattern       *string
 	cycles        *uint64
@@ -255,8 +285,10 @@ type simFlags struct {
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
 	return &simFlags{
-		width:     fs.Int("width", 8, "mesh width"),
-		height:    fs.Int("height", 8, "mesh height"),
+		width:     fs.Int("width", 8, "router grid width"),
+		height:    fs.Int("height", 8, "router grid height"),
+		topo:      fs.String("topo", "mesh", "topology: mesh, torus or cmesh"),
+		conc:      fs.Int("conc", 1, "terminals per router (cmesh concentration)"),
 		rate:      fs.Float64("rate", 0.02, "packets per node per cycle"),
 		pattern:   fs.String("pattern", "uniform", "uniform, transpose, bitcomp, tornado, neighbor, hotspot"),
 		cycles:    fs.Uint64("cycles", 50000, "cycles to simulate (including warmup)"),
@@ -309,27 +341,31 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = !*sf.baseline
 	rc.Obs = o
-	mesh := topology.NewMesh(*sf.width, *sf.height)
+	topo, err := topology.New(*sf.topo, *sf.width, *sf.height, *sf.conc)
+	if err != nil {
+		return nil, err
+	}
 	var dest traffic.DestFn
 	switch *sf.pattern {
 	case "uniform":
-		dest = traffic.Uniform(mesh.Nodes())
+		dest = traffic.Uniform(topo.Nodes())
 	case "transpose":
-		dest = traffic.Transpose(mesh)
+		dest = traffic.Transpose(topo)
 	case "bitcomp":
-		dest = traffic.BitComplement(mesh)
+		dest = traffic.BitComplement(topo)
 	case "tornado":
-		dest = traffic.Tornado(mesh)
+		dest = traffic.Tornado(topo)
 	case "neighbor":
-		dest = traffic.Neighbor(mesh)
+		dest = traffic.Neighbor(topo)
 	case "hotspot":
-		dest = traffic.Hotspot(mesh.Nodes(), []int{0, mesh.Nodes() - 1}, 0.3)
+		dest = traffic.Hotspot(topo.Nodes(), []int{0, topo.Nodes() - 1}, 0.3)
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", *sf.pattern)
 	}
-	src := traffic.NewSynthetic(mesh.Nodes(), *sf.rate, dest, traffic.Bimodal(1, 5, 0.6), *sf.seed)
+	src := traffic.NewSynthetic(topo.Nodes(), *sf.rate, dest, traffic.Bimodal(1, 5, 0.6), *sf.seed)
 	n, err := noc.New(noc.Config{
-		Width: *sf.width, Height: *sf.height, Router: rc, Warmup: sim.Cycle(*sf.warmup),
+		Width: *sf.width, Height: *sf.height, Topo: *sf.topo, Conc: *sf.conc,
+		Router: rc, Warmup: sim.Cycle(*sf.warmup),
 		Workers: *sf.workers,
 		Retx: noc.RetxConfig{
 			Timeout:    sim.Cycle(*sf.retxTimeout),
@@ -345,8 +381,8 @@ func (sf *simFlags) build(o *obs.Observer) (*noc.Network, error) {
 		return nil, err
 	}
 	for i, r := range routers {
-		if r >= mesh.Nodes() {
-			return nil, fmt.Errorf("fault spec router %d outside the %d-node mesh", r, mesh.Nodes())
+		if r >= topo.Nodes() {
+			return nil, fmt.Errorf("fault spec router %d outside the %d-node %s", r, topo.Nodes(), topo.Kind())
 		}
 		if err := fault.ApplyNetwork(n, r, sites[i], true); err != nil {
 			return nil, err
@@ -407,7 +443,7 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 		srv.SetCycle(n.Now())
 		srv.Publish(st.Snapshot())
 	}
-	mesh := n.Mesh()
+	nodes := n.Topo().Nodes()
 	fmt.Printf("cycles:        %d\n", n.Now())
 	fmt.Printf("packets:       %d created, %d delivered, %d in flight\n",
 		st.Created(), st.Ejected(), st.InFlight())
@@ -419,7 +455,7 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 	fmt.Printf("p50/p95/p99:   %.0f / %.0f / %.0f cycles\n",
 		st.Percentile(50), st.Percentile(95), st.Percentile(99))
 	fmt.Printf("throughput:    %.4f flits/node/cycle\n",
-		st.ThroughputFlits(n.Now())/float64(mesh.Nodes()))
+		st.ThroughputFlits(n.Now())/float64(nodes))
 	fmt.Printf("functional:    %v\n", n.Functional())
 	if *heatmap {
 		fmt.Print(n.Heatmap())
@@ -624,6 +660,8 @@ func runRecord(args []string) error {
 	app := fs.String("app", "fft", "workload application name (any SPLASH-2/PARSEC app)")
 	cycles := fs.Uint64("cycles", 20000, "cycles to record")
 	seed := fs.Uint64("seed", 1, "random seed")
+	width := fs.Int("width", 8, "mesh width")
+	height := fs.Int("height", 8, "mesh height")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -633,10 +671,10 @@ func runRecord(args []string) error {
 	}
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
-	mesh := topology.NewMesh(8, 8)
+	mesh := topology.NewMesh(*width, *height)
 	src := workloads.NewCoherence(prof, mesh, *seed)
 	rec := tracefile.NewRecorder(src)
-	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, rec)
+	n := noc.MustNew(noc.Config{Width: *width, Height: *height, Router: rc}, rec)
 	defer n.Close()
 	n.Run(sim.Cycle(*cycles))
 	f, err := os.Create(*out)
@@ -658,6 +696,8 @@ func runReplay(args []string) error {
 	faultMean := fs.Uint64("fault-mean", 0, "mean cycles between faults (0 = fault-free)")
 	limit := fs.Uint64("limit", 500000, "drain cycle limit")
 	seed := fs.Uint64("seed", 1, "random seed for fault injection")
+	width := fs.Int("width", 8, "mesh width (must match the recording)")
+	height := fs.Int("height", 8, "mesh height (must match the recording)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -672,7 +712,7 @@ func runReplay(args []string) error {
 	}
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
-	n := noc.MustNew(noc.Config{Width: 8, Height: 8, Router: rc}, traffic.NewTrace(entries))
+	n := noc.MustNew(noc.Config{Width: *width, Height: *height, Router: rc}, traffic.NewTrace(entries))
 	defer n.Close()
 	if *faultMean > 0 {
 		fault.NewInjector(n, sim.Cycle(*faultMean), *seed, true)
@@ -691,6 +731,36 @@ func runReplay(args []string) error {
 	st := n.Stats()
 	fmt.Printf("replayed %d packets, avg latency %.2f cycles (p95 %.0f)\n",
 		st.Ejected(), st.AvgLatency(), st.Percentile(95))
+	return nil
+}
+
+// runBench measures the step-loop scaling trajectory and optionally
+// writes the snapshot CI compares against (BENCH_scaling.json).
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("o", "", "write the snapshot JSON here (e.g. BENCH_scaling.json); empty prints only")
+	quick := fs.Bool("quick", false, "run the short CI smoke trajectory instead of the full curve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cases := perf.DefaultTrajectory()
+	if *quick {
+		cases = perf.QuickTrajectory()
+	}
+	fmt.Printf("%-18s %12s %16s %10s %10s\n", "case", "steps/s", "router-cyc/s", "allocs/op", "B/op")
+	snap, err := perf.Collect(cases, func(p perf.Point) {
+		fmt.Printf("%-18s %12.1f %16.0f %10.2f %10.1f\n",
+			p.Key(), p.StepsPerSec, p.RouterCyclesPerSec, p.AllocsPerStep, p.BytesPerStep)
+	})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := perf.WriteFile(*out, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(snap.Points), *out)
+	}
 	return nil
 }
 

@@ -100,7 +100,7 @@ func (r *Router) computeRoute(cy sim.Cycle, p int, q *vc.VC) (out topology.Port,
 			return topology.Local, false, true
 		}
 		q.DvcLo, q.DvcHi = lo, hi
-		if r.ID != dst && fout != r.mesh.RouteXY(r.ID, dst) {
+		if r.ID != dst && fout != r.topo.Route(r.ID, dst) {
 			r.Counters.Reroutes++
 			if o := r.obs; o != nil {
 				o.Reroute(cy, p, q.Index, int(fout))
@@ -311,16 +311,9 @@ func (r *Router) effectiveRequestPort(q *vc.VC) (topology.Port, bool) {
 // saStage runs the two-stage separable switch allocator with the
 // protected router's bypass path and VC transfer.
 func (r *Router) saStage(cy sim.Cycle) {
-	type winner struct {
-		vcIdx     int
-		reqPort   topology.Port
-		outPort   topology.Port
-		secondary bool
-		bypass    bool
-	}
-	winners := make([]winner, r.cfg.Ports)
+	winners := r.saWinners
 	for i := range winners {
-		winners[i].vcIdx = -1
+		winners[i] = saWinner{vcIdx: -1}
 	}
 
 	// Stage 1: pick one VC per input port.
@@ -390,7 +383,7 @@ func (r *Router) saStage(cy sim.Cycle) {
 		if !pathOK {
 			continue
 		}
-		winners[p] = winner{vcIdx: w, reqPort: reqPort, outPort: q.R, secondary: q.FSP, bypass: bypassed}
+		winners[p] = saWinner{vcIdx: w, reqPort: reqPort, outPort: q.R, secondary: q.FSP, bypass: bypassed}
 	}
 
 	// Stage 2: one arbiter per output port resolves input-port conflicts.

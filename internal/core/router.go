@@ -69,6 +69,17 @@ type grant struct {
 	secondary bool          // traverse via the protected crossbar's secondary path
 }
 
+// saWinner is one input port's stage-1 switch-allocation winner, held in
+// the router's reusable per-port scratch buffer (saWinners) between the
+// two allocator stages. vcIdx is -1 when the port won nothing.
+type saWinner struct {
+	vcIdx     int
+	reqPort   topology.Port
+	outPort   topology.Port
+	secondary bool
+	bypass    bool
+}
+
 // Counters tallies fault-tolerance mechanism activity and basic traffic,
 // for tests and the latency analysis.
 type Counters struct {
@@ -106,7 +117,7 @@ type Router struct {
 	ID int
 
 	cfg  router.Config
-	mesh topology.Mesh
+	topo topology.Topology
 
 	in []*vc.InputPort
 	rc []*router.RCUnit
@@ -147,6 +158,9 @@ type Router struct {
 	// flat input-VC indices (p*V + v). Reused across cycles.
 	va2req [][][]int
 	reqBuf []bool // scratch request vector, len = Ports*VCs
+	// saWinners is the switch allocator's per-port scratch buffer,
+	// reused every cycle so the steady-state Tick allocates nothing.
+	saWinners []saWinner
 
 	// routeFn, when non-nil, replaces the RC units' XY computation with a
 	// network-level fault-aware function (see RouteFn).
@@ -164,12 +178,12 @@ type Router struct {
 	obs *obs.RouterObs
 }
 
-// New returns a router with the given id in mesh, configured by cfg.
-func New(id int, mesh topology.Mesh, cfg router.Config) (*Router, error) {
+// New returns a router with the given id in topo, configured by cfg.
+func New(id int, topo topology.Topology, cfg router.Config) (*Router, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Router{ID: id, cfg: cfg, mesh: mesh}
+	r := &Router{ID: id, cfg: cfg, topo: topo}
 	r.in = make([]*vc.InputPort, cfg.Ports)
 	r.rc = make([]*router.RCUnit, cfg.Ports)
 	r.outVCBusy = make([][]bool, cfg.Ports)
@@ -183,13 +197,19 @@ func New(id int, mesh topology.Mesh, cfg router.Config) (*Router, error) {
 	r.va2req = make([][][]int, cfg.Ports)
 	for p := 0; p < cfg.Ports; p++ {
 		r.in[p] = vc.NewInputPort(topology.Port(p), cfg.VCs, cfg.Depth)
-		r.rc[p] = router.NewRCUnit(mesh, cfg.FaultTolerant)
+		r.rc[p] = router.NewRCUnit(topo, cfg.FaultTolerant)
 		r.outVCBusy[p] = make([]bool, cfg.VCs)
 		r.credits[p] = make([]int, cfg.VCs)
 		for v := range r.credits[p] {
 			r.credits[p][v] = cfg.Depth
 		}
 		r.va2req[p] = make([][]int, cfg.VCs)
+		for v := range r.va2req[p] {
+			// Worst case every input VC requests the same (out, dvc);
+			// full capacity up front keeps the steady-state tick
+			// allocation-free.
+			r.va2req[p][v] = make([]int, 0, cfg.Ports*cfg.VCs)
+		}
 	}
 	r.va = router.NewVAlloc(cfg)
 	r.sa = router.NewSAlloc(cfg)
@@ -199,14 +219,23 @@ func New(id int, mesh topology.Mesh, cfg router.Config) (*Router, error) {
 		r.xbBase = crossbar.NewBaseline(cfg.Ports)
 	}
 	r.reqBuf = make([]bool, cfg.Ports*cfg.VCs)
+	r.saWinners = make([]saWinner, cfg.Ports)
+	// Pre-size the per-cycle staging latches to their flow-control bounds
+	// (one flit per port per cycle; credits bounded by total VCs plus the
+	// VC-free piggyback) so the steady-state tick never grows them.
+	r.inFlits = make([]router.InFlit, 0, cfg.Ports)
+	r.inCredits = make([]CreditIn, 0, cfg.Ports*cfg.VCs+cfg.Ports)
+	r.outFlits = make([]router.OutFlit, 0, cfg.Ports)
+	r.outCredits = make([]router.Credit, 0, cfg.Ports*cfg.VCs+cfg.Ports)
+	r.droppedPkts = make([]*flit.Packet, 0, cfg.Ports)
 	r.obs = obs.BindRouter(cfg.Obs, id, cfg.Ports)
 	return r, nil
 }
 
 // MustNew is New that panics on configuration errors, for tests and
 // examples.
-func MustNew(id int, mesh topology.Mesh, cfg router.Config) *Router {
-	r, err := New(id, mesh, cfg)
+func MustNew(id int, topo topology.Topology, cfg router.Config) *Router {
+	r, err := New(id, topo, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -237,25 +266,30 @@ func (r *Router) SetRouteFn(fn RouteFn) { r.routeFn = fn }
 // routing function declared unreachable this cycle. Each such packet's
 // buffered flits are discarded by the drain stage over the following
 // cycles; the packet itself is reported exactly once, here.
+//
+// The returned slice aliases a buffer the router refills on its next
+// Tick: consume it before then. (All three Take* drains share this
+// contract; it is what keeps the steady-state network step free of
+// allocations.)
 func (r *Router) TakeDropped() []*flit.Packet {
 	o := r.droppedPkts
-	r.droppedPkts = nil
+	r.droppedPkts = r.droppedPkts[:0]
 	return o
 }
 
 // TakeOutFlits drains and returns the flits that left the router this
-// cycle.
+// cycle. The returned slice is valid until the router's next Tick.
 func (r *Router) TakeOutFlits() []router.OutFlit {
 	o := r.outFlits
-	r.outFlits = nil
+	r.outFlits = r.outFlits[:0]
 	return o
 }
 
 // TakeOutCredits drains and returns the credits the router emitted this
-// cycle.
+// cycle. The returned slice is valid until the router's next Tick.
 func (r *Router) TakeOutCredits() []router.Credit {
 	o := r.outCredits
-	r.outCredits = nil
+	r.outCredits = r.outCredits[:0]
 	return o
 }
 

@@ -9,6 +9,7 @@ import (
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/sweep"
+	"gonoc/internal/topology"
 	"gonoc/internal/traffic"
 )
 
@@ -88,6 +89,34 @@ func ScenariosFromSpecs(list string) ([]Scenario, error) {
 		scenarios = append(scenarios, Scenario{Name: spec, Specs: []string{spec}})
 	}
 	return scenarios, nil
+}
+
+// ValidateScenarios checks every scenario's fault specs against the
+// study's configured grid. ScenariosFromSpecs only checks the spec
+// grammar — the dimensions live in the config — so range checking
+// happens here, and an out-of-grid router or a link spec pointing off
+// the mesh edge fails up front instead of panicking mid-campaign.
+func ValidateScenarios(cfg LinkFaultConfig, scenarios []Scenario) error {
+	topo := topology.NewMesh(cfg.Width, cfg.Height)
+	for _, sc := range scenarios {
+		ids, sites, err := fault.ParseInjections(strings.Join(sc.Specs, ","))
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if id < 0 || id >= topo.Nodes() {
+				return fmt.Errorf("experiments: scenario %q: router %d outside the %dx%d mesh",
+					sc.Name, id, cfg.Width, cfg.Height)
+			}
+			if sites[i].Kind == fault.LinkDead {
+				if _, ok := topo.Neighbor(id, sites[i].Port); !ok {
+					return fmt.Errorf("experiments: scenario %q: router %d has no %s link in a %dx%d mesh",
+						sc.Name, id, sites[i].Port, cfg.Width, cfg.Height)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // LinkFaultPoint is one scenario's outcome.

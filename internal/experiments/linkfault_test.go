@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateScenarios pins the up-front range check of the -inject
+// delivery campaign: specs are validated against the campaign's actual
+// grid dimensions, not the 8x8 the study defaults to, so an
+// out-of-grid router or a link pointing off the mesh edge fails before
+// any trial runs (the mid-run fault hook panics on a bad spec).
+func TestValidateScenarios(t *testing.T) {
+	cases := []struct {
+		name          string
+		width, height int
+		specs         string
+		wantErr       string // substring; "" means the specs validate
+	}{
+		{"in range 8x8", 8, 8, "5:link:e,10:router", ""},
+		{"in range 4x4", 4, 4, "5:link:e,0:router", ""},
+		{"router outside 4x4", 4, 4, "16:router", "router 16 outside the 4x4 mesh"},
+		{"router outside 2x2", 2, 2, "9:link:e", "router 9 outside the 2x2 mesh"},
+		{"in-range in 8x8 but not 4x4", 4, 4, "40:sa1:e", "router 40 outside the 4x4 mesh"},
+		{"link off the east edge", 4, 4, "3:link:e", "router 3 has no E link"},
+		{"link off the north edge", 4, 4, "1:link:n", "router 1 has no N link"},
+		{"in-router fault on edge router ok", 4, 4, "3:sa1:e", ""},
+		{"fault-free baseline only", 4, 4, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultLinkFaultConfig()
+			cfg.Width, cfg.Height = tc.width, tc.height
+			scenarios, err := ScenariosFromSpecs(tc.specs)
+			if err != nil {
+				t.Fatalf("ScenariosFromSpecs(%q): %v", tc.specs, err)
+			}
+			err = ValidateScenarios(cfg, scenarios)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateScenarios: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ValidateScenarios: want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ValidateScenarios: error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

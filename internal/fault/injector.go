@@ -65,7 +65,7 @@ func NewInjector(net *noc.Network, mean sim.Cycle, seed uint64, safeOnly bool) *
 		st := s.Kind.Stage()
 		inj.sitesByStage[st] = append(inj.sitesByStage[st], s)
 	}
-	nodes := net.Mesh().Nodes()
+	nodes := net.Topo().Nodes()
 	inj.next = make([][]sim.Cycle, nodes)
 	for n := range inj.next {
 		inj.next[n] = make([]sim.Cycle, 4)

@@ -13,9 +13,10 @@ import (
 // link drops the NI retransmission layer recovers — and every in-router
 // kind falls through to Apply on the target router.
 func ApplyNetwork(n *noc.Network, routerID int, s Site, value bool) error {
-	mesh := n.Mesh()
-	if routerID < 0 || routerID >= mesh.Nodes() {
-		return fmt.Errorf("fault: router %d outside %dx%d mesh", routerID, mesh.W, mesh.H)
+	topo := n.Topo()
+	if routerID < 0 || routerID >= topo.Nodes() {
+		w, h := topo.Dims()
+		return fmt.Errorf("fault: router %d outside %dx%d %s", routerID, w, h, topo.Kind())
 	}
 	switch s.Kind {
 	case LinkDead:

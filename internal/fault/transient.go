@@ -98,7 +98,7 @@ func (ti *TransientInjector) hook(c sim.Cycle) {
 	ti.active = kept
 
 	// Strike.
-	for node := 0; node < ti.net.Mesh().Nodes(); node++ {
+	for node := 0; node < ti.net.Topo().Nodes(); node++ {
 		if !ti.r.Bernoulli(ti.Rate) {
 			continue
 		}

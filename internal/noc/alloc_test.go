@@ -1,0 +1,119 @@
+package noc
+
+import (
+	"testing"
+
+	"gonoc/internal/router"
+	"gonoc/internal/traffic"
+)
+
+// steadyNetwork builds a network whose traffic stops at a fixed horizon
+// and runs it until every NI has drained its injection queues and
+// finished segmenting packets, while flits are still crossing the
+// network. Past that point the only work left is the steady-state hot
+// path — compute, local commit, link commit — which must not allocate.
+func steadyNetwork(t testing.TB, topo string, w, h, workers int) *Network {
+	t.Helper()
+	nodes := w * h
+	const stop = 400
+	src := traffic.NewSynthetic(nodes, 0.02, traffic.Uniform(nodes), traffic.Bimodal(1, 5, 0.6), 7)
+	src.StopAt(stop)
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	n, err := New(Config{
+		Width: w, Height: h, Topo: topo,
+		Router: rc, Warmup: 50, Workers: workers,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(stop)
+	// Flush the injection backlog: flit segmentation is the one
+	// legitimate allocator left after the traffic horizon, and it runs
+	// until the NI queues empty.
+	for i := 0; i < 80 && !n.InjectionIdle(); i++ {
+		n.Run(50)
+	}
+	if !n.InjectionIdle() {
+		t.Fatal("injection backlog did not flush; raise the flush budget")
+	}
+	if n.Stats().Ejected() == 0 {
+		t.Fatal("no ejections during warmup; the lazy histogram allocation was not exercised")
+	}
+	if n.Stats().InFlight() == 0 {
+		t.Fatal("network drained during warmup; nothing steady-state to measure")
+	}
+	return n
+}
+
+// TestStepZeroAllocSteadyState pins the tentpole memory contract: once a
+// network is past its injection transient, Step allocates nothing — on a
+// 64x64 mesh and on the torus and cmesh families — so stepping large
+// meshes for millions of cycles puts no pressure on the garbage
+// collector. Any new per-tick allocation in the compute or commit path
+// fails this test.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	cases := []struct {
+		name, topo string
+		w, h       int
+	}{
+		{"mesh-64x64", "", 64, 64},
+		{"torus-32x32", "torus", 32, 32},
+		{"cmesh-32x32", "cmesh", 32, 32},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := steadyNetwork(t, tc.topo, tc.w, tc.h, 1)
+			defer n.Close()
+			if allocs := testing.AllocsPerRun(20, func() { n.Step() }); allocs != 0 {
+				t.Fatalf("steady-state Step allocates %.1f objects/op, want 0", allocs)
+			}
+			if n.Stats().InFlight() == 0 {
+				t.Fatal("network drained during measurement; the window no longer covers the hot path")
+			}
+		})
+	}
+}
+
+// benchStep measures steady-state step throughput with live traffic.
+func benchStep(b *testing.B, topo string, w, h, workers int) {
+	nodes := w * h
+	src := traffic.NewSynthetic(nodes, 0.02, traffic.Uniform(nodes), traffic.Bimodal(1, 5, 0.6), 7)
+	rc := router.DefaultConfig()
+	rc.FaultTolerant = true
+	n, err := New(Config{Width: w, Height: h, Topo: topo, Router: rc, Workers: workers}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.Run(64) // fill the pipelines
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	cases := []struct {
+		name, topo string
+		w, h       int
+		workers    int
+	}{
+		{"mesh-8x8-w1", "", 8, 8, 1},
+		{"mesh-16x16-w1", "", 16, 16, 1},
+		{"mesh-32x32-w1", "", 32, 32, 1},
+		{"mesh-64x64-w1", "", 64, 64, 1},
+		{"mesh-64x64-w2", "", 64, 64, 2},
+		{"mesh-64x64-w4", "", 64, 64, 4},
+		{"mesh-64x64-w8", "", 64, 64, 8},
+		{"torus-32x32-w1", "torus", 32, 32, 1},
+		{"torus-32x32-w4", "torus", 32, 32, 4},
+		{"cmesh-32x32-w4", "cmesh", 32, 32, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) { benchStep(b, tc.topo, tc.w, tc.h, tc.workers) })
+	}
+}

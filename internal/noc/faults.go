@@ -25,14 +25,18 @@ import (
 // Routing tables are rebuilt immediately; call this from a cycle hook
 // (or before the run) so the change lands in a serial phase.
 func (n *Network) SetLinkFault(id int, p topology.Port, value bool) error {
-	if id < 0 || id >= n.mesh.Nodes() {
-		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, n.mesh.W, n.mesh.H)
+	if !n.hasRoutesMesh {
+		return fmt.Errorf("noc: network link faults are not supported on a %s: its minimal routes have no detour freedom", n.topo.Kind())
+	}
+	w, h := n.topo.Dims()
+	if id < 0 || id >= n.topo.Nodes() {
+		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, w, h)
 	}
 	if p < topology.North || p > topology.West {
 		return fmt.Errorf("noc: link fault port must be a mesh direction, got %v", p)
 	}
-	nb, ok := n.mesh.Neighbor(id, p)
-	if !ok {
+	nb := n.neighbor(id, p)
+	if nb < 0 {
 		return fmt.Errorf("noc: router %d has no %v link (mesh edge)", id, p)
 	}
 	n.linkDead[id][p] = value
@@ -44,8 +48,12 @@ func (n *Network) SetLinkFault(id int, p topology.Port, value bool) error {
 // entirely: all four of its mesh links behave dead in both directions,
 // its NI neither injects nor ejects, and no route transits it.
 func (n *Network) SetRouterFault(id int, value bool) error {
-	if id < 0 || id >= n.mesh.Nodes() {
-		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, n.mesh.W, n.mesh.H)
+	if !n.hasRoutesMesh {
+		return fmt.Errorf("noc: network router faults are not supported on a %s: its minimal routes have no detour freedom", n.topo.Kind())
+	}
+	w, h := n.topo.Dims()
+	if id < 0 || id >= n.topo.Nodes() {
+		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, w, h)
 	}
 	n.routerDead[id] = value
 	return n.rebuildRoutes()
@@ -57,8 +65,8 @@ func (n *Network) LinkFaulty(id int, p topology.Port) bool {
 	if n.linkDead[id][p] || n.routerDead[id] {
 		return true
 	}
-	nb, ok := n.mesh.Neighbor(id, p)
-	return ok && n.routerDead[nb]
+	nb := n.neighbor(id, p)
+	return nb >= 0 && n.routerDead[nb]
 }
 
 // RouterFaulty reports whether router id is marked dead.
@@ -112,7 +120,7 @@ func (n *Network) rebuildRoutes() error {
 				numLayers, cls, hi-lo)
 		}
 	}
-	n.routes = buildRoutes(n.mesh, n.linkDead, n.routerDead)
+	n.routes = buildRoutes(n.routesMesh, n.linkDead, n.routerDead)
 	for _, r := range n.routers {
 		r.SetRouteFn(n.routeFor)
 	}
@@ -131,8 +139,8 @@ func (n *Network) routeFor(cur int, in topology.Port, vcIdx int, dst int) (topol
 	t := n.routes
 	if t == nil {
 		// Raced with a repair in a hook; cannot happen mid-phase, but
-		// fall back to XY rather than panic.
-		return n.mesh.RouteXY(cur, dst), lo, hi, true
+		// fall back to the baseline route rather than panic.
+		return n.topo.Route(cur, dst), lo, hi, true
 	}
 	half := (hi - lo) / numLayers
 	layer := 0

@@ -29,8 +29,8 @@ func (n *Network) CheckInvariants() error {
 		cfg := r.Config()
 		for p := 1; p < cfg.Ports; p++ { // inter-router ports: N, E, S, W
 			port := topology.Port(p)
-			nb, ok := n.mesh.Neighbor(id, port)
-			if !ok {
+			nb := n.neighbor(id, port)
+			if nb < 0 {
 				continue // edge port: no link
 			}
 			in := port.Opposite()

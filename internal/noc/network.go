@@ -1,6 +1,8 @@
 // Package noc wires routers, links and network interfaces into a complete
-// mesh network-on-chip and drives end-to-end simulations: traffic
-// generation, fault-injection hooks and statistics collection.
+// network-on-chip and drives end-to-end simulations: traffic generation,
+// fault-injection hooks and statistics collection. Three topologies are
+// supported — the paper's 2-D mesh, a torus and a concentrated mesh (see
+// internal/topology and Config.Topo).
 //
 // The cycle model matches GARNET's at the granularity the paper needs:
 // routers have the 4-stage pipeline of Figure 2, inter-router links take
@@ -9,16 +11,32 @@
 //
 // # Parallel stepping
 //
-// Step is an explicit two-phase tick. The compute phase advances every
+// Step is an explicit multi-phase tick. The compute phase advances every
 // node — delivering the node's latched link traffic, ticking its NI and
 // its router — reading only last-cycle state, so nodes are mutually
 // independent and the phase shards over a persistent worker pool
-// (Config.Workers). The commit phase then applies all cross-node effects
-// — link transfers, credit returns, ejections, statistics — serially in
-// canonical node order. Results are therefore bit-exact identical for
-// any worker count: the same flit arrival cycles, the same statistics,
-// and the same observability event multiset (see obs.SortEvents for the
-// canonical event order used when comparing traces).
+// (Config.Workers). The commit phase then applies all cross-node
+// effects. Local effects (ejections, statistics, closed-loop traffic
+// replies) commit serially in canonical node order; link transfers
+// commit pull-side — each destination node gathers the flits and credits
+// its neighbours staged for it — which makes every latch single-writer,
+// so in the fault-free steady state the link commit also shards over the
+// pool. Serial and parallel execution run the identical code in the
+// identical order, so results are bit-exact for any worker count: the
+// same flit arrival cycles, the same statistics, and the same
+// observability event multiset (see obs.SortEvents for the canonical
+// event order used when comparing traces).
+//
+// # Memory discipline
+//
+// The steady-state Step path allocates nothing (pinned by
+// TestStepZeroAllocSteadyState and the benchmark smoke test; see
+// DESIGN.md). All per-cycle traffic flows through preallocated storage:
+// the inter-node latches are fixed-capacity buckets carved from
+// contiguous arenas, router output buffers are drained by handing the
+// caller the filled slice and retaining the backing array, and neighbour
+// lookups go through a flat table baked at construction time instead of
+// per-flit coordinate arithmetic.
 package noc
 
 import (
@@ -51,13 +69,24 @@ type Traffic interface {
 
 // Config configures a network.
 type Config struct {
-	// Width and Height are the mesh dimensions (the paper uses 8×8).
+	// Width and Height are the router-grid dimensions (the paper uses
+	// 8×8).
 	Width, Height int
-	// Router configures every router in the mesh.
+	// Topo selects the topology family: "" or "mesh" (the default),
+	// "torus" or "cmesh". A torus needs at least numLayers VCs per
+	// message class for its dateline deadlock avoidance, and does not
+	// support network-level link/router faults (SetLinkFault and
+	// SetRouterFault return an error; router-internal faults still
+	// apply).
+	Topo string
+	// Conc is the cmesh concentration (terminals per router); 0 means 1.
+	// Ignored unless Topo is "cmesh".
+	Conc int
+	// Router configures every router in the network.
 	Router router.Config
 	// Warmup is the statistics warmup window in cycles.
 	Warmup sim.Cycle
-	// Workers is the number of goroutines Step's compute phase is
+	// Workers is the number of goroutines Step's parallel phases are
 	// sharded over: 0 selects runtime.GOMAXPROCS(0), 1 is the serial
 	// path, and any value is clamped to the node count. Every worker
 	// count produces bit-exact identical simulations; negative values
@@ -118,10 +147,29 @@ func DefaultConfig() Config {
 	return Config{Width: 8, Height: 8, Router: rc, Warmup: 1000}
 }
 
-// Network is a complete W×H mesh NoC.
+// Network is a complete NoC: routers, links and network interfaces on
+// the configured topology.
 type Network struct {
-	cfg     Config
-	mesh    topology.Mesh
+	cfg  Config
+	topo topology.Topology
+	// routesMesh is the mesh router graph network-level fault routing
+	// runs on: the mesh itself, or the cmesh's router grid.
+	// hasRoutesMesh is false for the torus, which rejects network
+	// faults (its minimal-direction routes have no turn freedom to
+	// detour with).
+	routesMesh    topology.Mesh
+	hasRoutesMesh bool
+
+	// ports is the per-router port count. nbr and wrap are the link
+	// tables pre-resolved at build time, indexed id*ports+p: nbr holds
+	// the node reached through port p of node id (-1 when the port has
+	// no link) and wrap marks torus dateline links. Baking them here
+	// keeps the hot commit and routing paths free of per-flit
+	// coordinate arithmetic.
+	ports int
+	nbr   []int32
+	wrap  []bool
+
 	routers []*core.Router
 	nis     []*NI
 	traffic Traffic
@@ -143,14 +191,19 @@ type Network struct {
 	obsNodes []*obs.NodeObs
 
 	// Link latches, indexed by destination node: filled by the commit
-	// phase in canonical node order, drained by the next cycle's compute
-	// phase. Each bucket is touched by exactly one compute worker.
+	// phase, drained by the next cycle's compute phase. Each bucket has
+	// exactly one writer per phase — the destination's compute worker
+	// drains it, the destination's commit worker fills it — and each is
+	// a fixed-capacity arena bucket (makeBuckets), so steady-state
+	// appends never allocate.
 	inFlits     [][]router.InFlit
 	inCredits   [][]core.CreditIn
 	inNICredits [][]router.Credit
 
 	// Staged per-node outputs of the compute phase, consumed by the
-	// commit phase in node order.
+	// commit phase. Each entry aliases the producing router's reusable
+	// output buffer: valid from the end of the node's compute until
+	// that router's next Tick.
 	stagedFlits   [][]router.OutFlit
 	stagedCredits [][]router.Credit
 
@@ -167,9 +220,13 @@ type Network struct {
 	// midFlight marks a packet whose head crossed the link while it was
 	// alive (such packets complete gracefully if the link then dies);
 	// linkDrop marks a packet being discarded at a dead link, from its
-	// dropped head until its tail.
-	midFlight [][][]bool //noc:committed
-	linkDrop  [][][]bool //noc:committed
+	// dropped head until its tail. linkDropsActive counts the set
+	// linkDrop bits: while any packet is mid-discard the link commit
+	// must stay serial, because discarding synthesizes credits for
+	// other nodes' latches.
+	midFlight       [][][]bool //noc:committed
+	linkDrop        [][][]bool //noc:committed
+	linkDropsActive int        //noc:committed
 
 	// End-to-end retransmission state: per-source sequence numbers,
 	// retransmission buffers, and per-sink duplicate-suppression windows
@@ -179,9 +236,9 @@ type Network struct {
 	delivered []map[int]*seqWindow //noc:committed
 	retxCfg   RetxConfig
 
-	// workers is the resolved compute-phase shard count (>= 1); pool is
+	// workers is the resolved parallel-phase shard count (>= 1); pool is
 	// the persistent worker pool, started lazily on the first parallel
-	// Step and released by Close.
+	// phase and released by Close.
 	workers int
 	pool    *stepPool
 }
@@ -207,75 +264,146 @@ type seqWindow struct {
 	seen  map[uint64]bool
 }
 
-// stepPool is the persistent compute-phase worker pool: one goroutine
-// per shard, parked on a per-worker channel between cycles. Channel
-// send/receive orders each worker's reads after the commit phase's
-// writes, and wg.Wait orders the commit phase after every worker's
-// writes, so the two phases never race.
+// stepPhase selects the work a pooled worker runs over its node shard.
+type stepPhase int8
+
+const (
+	phaseCompute stepPhase = iota
+	phaseCommitLinks
+)
+
+// stepJob is one phase dispatch to the worker pool.
+type stepJob struct {
+	phase stepPhase
+	cycle sim.Cycle
+}
+
+// stepPool is the persistent worker pool for Step's parallel phases: one
+// goroutine per shard, parked on a per-worker channel between phases.
+// Channel send/receive orders each worker's reads after the previous
+// phase's writes, and wg.Wait orders the next phase after every worker's
+// writes, so phases never race.
 type stepPool struct {
-	start []chan sim.Cycle
+	start []chan stepJob
 	wg    sync.WaitGroup
 	once  sync.Once
+}
+
+// makeBuckets carves nodes zero-length, fixed-capacity buckets out of
+// one contiguous arena. Steady-state appends stay allocation-free and
+// the per-node latches sit densely in memory. The three-index slice pins
+// each bucket's capacity at per elements: a burst beyond that
+// reallocates the bucket out of the arena — still correct, just off the
+// fast path — so per only needs to cover the per-cycle common case, not
+// a hard worst case.
+func makeBuckets[T any](nodes, per int) [][]T {
+	arena := make([]T, nodes*per)
+	b := make([][]T, nodes)
+	for i := range b {
+		b[i] = arena[i*per : i*per : (i+1)*per]
+	}
+	return b
 }
 
 // New builds a network. All routers share cfg.Router; traffic may be nil
 // for manually-driven tests.
 func New(cfg Config, traffic Traffic) (*Network, error) {
 	if cfg.Width < 2 || cfg.Height < 1 {
-		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+		return nil, fmt.Errorf("noc: invalid %dx%d dimensions", cfg.Width, cfg.Height)
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("noc: invalid Workers %d: want 0 (all cores), 1 (serial) or a positive shard count", cfg.Workers)
 	}
-	mesh := topology.NewMesh(cfg.Width, cfg.Height)
+	topo, err := topology.New(cfg.Topo, cfg.Width, cfg.Height, cfg.Conc)
+	if err != nil {
+		return nil, err
+	}
+	if topo.Kind() == "torus" {
+		for cls := 0; cls < cfg.Router.Classes; cls++ {
+			lo, hi := cfg.Router.ClassRange(cls)
+			if hi-lo < numLayers {
+				return nil, fmt.Errorf("noc: torus dateline routing needs >= %d VCs per message class (class %d has %d): raise VCs or lower Classes",
+					numLayers, cls, hi-lo)
+			}
+		}
+	}
+	nodes := topo.Nodes()
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > mesh.Nodes() {
-		workers = mesh.Nodes()
+	if workers > nodes {
+		workers = nodes
 	}
+	ports := cfg.Router.Ports
+	vcs := cfg.Router.VCs
 	n := &Network{
 		cfg:     cfg,
-		mesh:    mesh,
+		topo:    topo,
+		ports:   ports,
 		traffic: traffic,
 		stats:   stats.NewCollector(cfg.Warmup),
 		workers: workers,
 		retxCfg: cfg.Retx.withDefaults(),
 	}
-	n.routers = make([]*core.Router, mesh.Nodes())
-	n.nis = make([]*NI, mesh.Nodes())
-	n.linkFlits = make([][]uint64, mesh.Nodes())
-	n.obsNodes = make([]*obs.NodeObs, mesh.Nodes())
-	n.inFlits = make([][]router.InFlit, mesh.Nodes())
-	n.inCredits = make([][]core.CreditIn, mesh.Nodes())
-	n.inNICredits = make([][]router.Credit, mesh.Nodes())
-	n.stagedFlits = make([][]router.OutFlit, mesh.Nodes())
-	n.stagedCredits = make([][]router.Credit, mesh.Nodes())
-	n.linkDead = make([][]bool, mesh.Nodes())
-	n.routerDead = make([]bool, mesh.Nodes())
-	n.midFlight = make([][][]bool, mesh.Nodes())
-	n.linkDrop = make([][][]bool, mesh.Nodes())
-	n.seqNext = make([]uint64, mesh.Nodes())
-	n.retx = make([][]retxEntry, mesh.Nodes())
-	n.delivered = make([]map[int]*seqWindow, mesh.Nodes())
-	for i := range n.linkFlits {
-		n.linkFlits[i] = make([]uint64, cfg.Router.Ports)
-		n.linkDead[i] = make([]bool, cfg.Router.Ports)
-		n.midFlight[i] = make([][]bool, cfg.Router.Ports)
-		n.linkDrop[i] = make([][]bool, cfg.Router.Ports)
-		for p := range n.midFlight[i] {
-			n.midFlight[i][p] = make([]bool, cfg.Router.VCs)
-			n.linkDrop[i][p] = make([]bool, cfg.Router.VCs)
+	switch t := topo.(type) {
+	case topology.Mesh:
+		n.routesMesh, n.hasRoutesMesh = t, true
+	case topology.CMesh:
+		n.routesMesh, n.hasRoutesMesh = t.Mesh, true
+	}
+	n.nbr = make([]int32, nodes*ports)
+	n.wrap = make([]bool, nodes*ports)
+	for id := 0; id < nodes; id++ {
+		for p := 0; p < ports; p++ {
+			i := id*ports + p
+			n.nbr[i] = -1
+			if p == int(topology.Local) {
+				continue
+			}
+			if nb, ok := topo.Neighbor(id, topology.Port(p)); ok {
+				n.nbr[i] = int32(nb)
+			}
+			n.wrap[i] = topo.Wrap(id, topology.Port(p))
 		}
 	}
-	for id := 0; id < mesh.Nodes(); id++ {
-		r, err := core.New(id, mesh, cfg.Router)
+	n.routers = make([]*core.Router, nodes)
+	n.nis = make([]*NI, nodes)
+	n.linkFlits = make([][]uint64, nodes)
+	n.obsNodes = make([]*obs.NodeObs, nodes)
+	// Latch bucket capacities cover the steady-state per-cycle maxima:
+	// one flit per input port; per upstream link up to one credit per VC
+	// plus the ejection and drop-synthesized credits; up to one local
+	// credit per VC from the drain and crossbar stages each.
+	n.inFlits = makeBuckets[router.InFlit](nodes, ports)
+	n.inCredits = makeBuckets[core.CreditIn](nodes, (ports-1)*vcs+ports+2)
+	n.inNICredits = makeBuckets[router.Credit](nodes, 2*vcs)
+	n.stagedFlits = make([][]router.OutFlit, nodes)
+	n.stagedCredits = make([][]router.Credit, nodes)
+	n.linkDead = make([][]bool, nodes)
+	n.routerDead = make([]bool, nodes)
+	n.midFlight = make([][][]bool, nodes)
+	n.linkDrop = make([][][]bool, nodes)
+	n.seqNext = make([]uint64, nodes)
+	n.retx = make([][]retxEntry, nodes)
+	n.delivered = make([]map[int]*seqWindow, nodes)
+	for i := range n.linkFlits {
+		n.linkFlits[i] = make([]uint64, ports)
+		n.linkDead[i] = make([]bool, ports)
+		n.midFlight[i] = make([][]bool, ports)
+		n.linkDrop[i] = make([][]bool, ports)
+		for p := range n.midFlight[i] {
+			n.midFlight[i][p] = make([]bool, vcs)
+			n.linkDrop[i][p] = make([]bool, vcs)
+		}
+	}
+	for id := 0; id < nodes; id++ {
+		r, err := core.New(id, topo, cfg.Router)
 		if err != nil {
 			return nil, err
 		}
 		n.routers[id] = r
-		n.obsNodes[id] = obs.BindNode(cfg.Router.Obs, id, cfg.Router.Ports)
+		n.obsNodes[id] = obs.BindNode(cfg.Router.Obs, id, ports)
 		node := id
 		n.nis[id] = newNI(id, r, n.obsNodes[id], func(p *flit.Packet, c sim.Cycle) {
 			if n.retxCfg.Timeout > 0 {
@@ -299,6 +427,11 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 			}
 		})
 	}
+	if topo.Kind() == "torus" {
+		for _, r := range n.routers {
+			r.SetRouteFn(n.torusRoute)
+		}
+	}
 	return n, nil
 }
 
@@ -311,8 +444,18 @@ func MustNew(cfg Config, traffic Traffic) *Network {
 	return n
 }
 
-// Mesh returns the network topology.
-func (n *Network) Mesh() topology.Mesh { return n.mesh }
+// Topo returns the network topology.
+func (n *Network) Topo() topology.Topology { return n.topo }
+
+// Mesh returns the network's mesh router graph: the topology itself for
+// a mesh, the router grid for a cmesh. It panics for a torus — use Topo
+// for topology-generic access.
+func (n *Network) Mesh() topology.Mesh {
+	if !n.hasRoutesMesh {
+		panic(fmt.Sprintf("noc: Mesh() on a %s network: use Topo()", n.topo.Kind()))
+	}
+	return n.routesMesh
+}
 
 // Router returns the router at node id.
 func (n *Network) Router(id int) *core.Router { return n.routers[id] }
@@ -334,6 +477,18 @@ func (n *Network) AddHook(h func(c sim.Cycle)) { n.hooks = append(n.hooks, h) }
 // observability is disabled. The fault injectors and the watchdog use it
 // to report their events into the same registry and trace.
 func (n *Network) Obs() *obs.Observer { return n.cfg.Router.Obs }
+
+// neighbor returns the node reached from id through port p, or -1 when
+// the port has no link, via the table pre-resolved at build time.
+func (n *Network) neighbor(id int, p topology.Port) int {
+	return int(n.nbr[id*n.ports+int(p)])
+}
+
+// wrapLink reports whether the link leaving id through p is a torus
+// dateline link, via the table pre-resolved at build time.
+func (n *Network) wrapLink(id int, p topology.Port) bool {
+	return n.wrap[id*n.ports+int(p)]
+}
 
 // offer stamps and enqueues a packet at node. With network faults
 // present, packets whose destination is unreachable (and every packet at
@@ -364,10 +519,10 @@ func (n *Network) offer(node int, p *flit.Packet, c sim.Cycle) {
 // and trace-driven runs). Class and Size must be set; Src is overwritten.
 func (n *Network) Inject(src int, p *flit.Packet) { n.offer(src, p, n.cycle) }
 
-// Workers returns the resolved compute-phase shard count (>= 1).
+// Workers returns the resolved parallel-phase shard count (>= 1).
 func (n *Network) Workers() int { return n.workers }
 
-// Step advances the network one cycle as an explicit two-phase tick:
+// Step advances the network one cycle as an explicit multi-phase tick:
 //
 //  1. Serial pre-phase: cycle hooks (fault injection, probes), the
 //     retransmission-timer scan and traffic generation, all of which
@@ -377,12 +532,18 @@ func (n *Network) Workers() int { return n.workers }
 //     ticks its NI and ticks its router, reading only last-cycle
 //     state. Nodes are independent, so the phase shards over the
 //     worker pool when Workers > 1.
-//  3. Commit phase: staged router outputs are applied serially in
-//     canonical node order — link flit counters, ejections (stats and
-//     closed-loop traffic replies) and next cycle's per-node latches.
+//  3. Local commit: per-node effects that touch shared state — packet
+//     ejections (statistics, closed-loop traffic replies), drops of
+//     unreachable packets — applied serially in canonical node order.
+//  4. Link commit: each destination node pulls the flits and credits
+//     its neighbours staged for it into its inbound latches for
+//     delivery next cycle. Every latch has a single writer, so in the
+//     fault-free steady state this phase also shards over the pool;
+//     with a network fault active it runs the same code serially.
 //
-// Because the commit order is fixed and the compute phase is node-local,
-// the simulation is bit-exact identical for every worker count.
+// Because every phase runs the same code in the same order regardless of
+// sharding, the simulation is bit-exact identical for every worker
+// count.
 func (n *Network) Step() {
 	c := n.cycle
 
@@ -403,14 +564,7 @@ func (n *Network) Step() {
 			n.computeNode(id, c)
 		}
 	} else {
-		if n.pool == nil {
-			n.startPool()
-		}
-		n.pool.wg.Add(len(n.pool.start))
-		for _, ch := range n.pool.start {
-			ch <- c
-		}
-		n.pool.wg.Wait()
+		n.runPhase(phaseCompute, c)
 	}
 
 	n.commit(c)
@@ -418,6 +572,19 @@ func (n *Network) Step() {
 		n.assertPostStep()
 	}
 	n.cycle++
+}
+
+// runPhase dispatches one parallel phase to the worker pool and waits
+// for every shard to finish.
+func (n *Network) runPhase(phase stepPhase, c sim.Cycle) {
+	if n.pool == nil {
+		n.startPool()
+	}
+	n.pool.wg.Add(len(n.pool.start))
+	for _, ch := range n.pool.start {
+		ch <- stepJob{phase: phase, cycle: c}
+	}
+	n.pool.wg.Wait()
 }
 
 // computeNode advances node id through cycle c: deliver last cycle's
@@ -452,15 +619,37 @@ func (n *Network) computeNode(id int, c sim.Cycle) {
 	n.stagedCredits[id] = r.TakeOutCredits()
 }
 
-// commit applies the compute phase's staged outputs in node order:
-// counts link flits, consumes local ejections this cycle (statistics,
-// closed-loop traffic replies), discards traffic meeting a dead link or
-// router (crediting the sender so its flow control unwinds exactly) and
-// latches everything crossing a live link into the destination node's
-// inbound buckets for delivery next cycle.
+// commit applies the compute phase's staged outputs: first the serial
+// local commit (ejections, drops, statistics — everything that touches
+// shared state, in canonical node order), then the link commit. The link
+// commit shards over the worker pool whenever no network fault can make
+// a node write outside its own latches: any live routing table or
+// in-progress packet discard forces the serial path, which runs the
+// identical per-node code in the identical order.
 //
 //noc:commit-only
 func (n *Network) commit(c sim.Cycle) {
+	n.commitLocal(c)
+	if n.workers > 1 && n.routes == nil && n.linkDropsActive == 0 {
+		n.runPhase(phaseCommitLinks, c)
+	} else {
+		for id := range n.routers {
+			n.commitLinksNode(id, c)
+		}
+	}
+}
+
+// commitLocal applies, serially in node order, every staged effect that
+// touches shared state: packets the routing function declared
+// unreachable, and flits arriving at their destination's local port —
+// statistics, the ejection into the NI (which can re-enter the network
+// through closed-loop traffic replies), and the ejection credit. It also
+// validates that no router emitted traffic through a port with no link,
+// the invariant the link commit's pull loops rely on to see every staged
+// flit.
+//
+//noc:commit-only
+func (n *Network) commitLocal(c sim.Cycle) {
 	for id := range n.routers {
 		for _, pkt := range n.routers[id].TakeDropped() {
 			// Routing declared the destination unreachable; the router
@@ -471,61 +660,99 @@ func (n *Network) commit(c sim.Cycle) {
 			}
 		}
 		for _, of := range n.stagedFlits[id] {
-			if of.Out == localPort {
-				n.linkFlits[id][of.Out]++
-				if on := n.obsNodes[id]; on != nil {
-					on.LinkFlit(int(of.Out))
+			if of.Out != localPort {
+				if n.neighbor(id, of.Out) < 0 {
+					panic(fmt.Sprintf("noc: router %d emitted flit through edge port %v", id, of.Out))
 				}
-				if n.routerDead[id] {
-					// A dead node ejects nothing: the packet (necessarily
-					// one already inside this router when it died) is
-					// discarded, but the router's local output still gets
-					// its ejection credit so the pipeline drains.
-					if of.F.Kind.IsTail() {
-						n.stats.RecordDrop(of.F.Pkt)
-						if on := n.obsNodes[id]; on != nil {
-							on.DropUnreachable(c, of.F.Pkt.Dst)
-						}
-					}
-				} else {
-					n.nis[id].consume(of.F, c)
-				}
-				// Ejection credit back to this router's local output.
-				n.inCredits[id] = append(n.inCredits[id],
-					core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
 				continue
 			}
-			nb, ok := n.mesh.Neighbor(id, of.Out)
-			if !ok {
-				panic(fmt.Sprintf("noc: router %d emitted flit through edge port %v", id, of.Out))
+			n.linkFlits[id][of.Out]++
+			if on := n.obsNodes[id]; on != nil {
+				on.LinkFlit(int(of.Out))
+			}
+			if n.routerDead[id] {
+				// A dead node ejects nothing: the packet (necessarily
+				// one already inside this router when it died) is
+				// discarded, but the router's local output still gets
+				// its ejection credit so the pipeline drains.
+				if of.F.Kind.IsTail() {
+					n.stats.RecordDrop(of.F.Pkt)
+					if on := n.obsNodes[id]; on != nil {
+						on.DropUnreachable(c, of.F.Pkt.Dst)
+					}
+				}
+			} else {
+				n.nis[id].consume(of.F, c)
+			}
+			// Ejection credit back to this router's local output.
+			n.inCredits[id] = append(n.inCredits[id],
+				core.CreditIn{Out: localPort, VC: of.DownVC, VCFree: of.F.Kind.IsTail()})
+		}
+		for _, cr := range n.stagedCredits[id] {
+			if cr.In != localPort {
+				if n.neighbor(id, cr.In) < 0 {
+					panic(fmt.Sprintf("noc: router %d emitted credit through edge port %v", id, cr.In))
+				}
+				continue
+			}
+			n.inNICredits[id] = append(n.inNICredits[id], cr)
+		}
+	}
+}
+
+// commitLinksNode applies, for destination node u, every link transfer
+// arriving at u this cycle: it pulls from each neighbour v's staged
+// outputs the flits that left v toward u (updating v's per-link wormhole
+// and utilization state) and the credits v returned to u. The link
+// (v, port) feeding u is crossed by no other node's traffic, so distinct
+// destination nodes touch disjoint state and the phase shards over the
+// worker pool — except when a network fault is active, because the
+// dead-link paths below synthesize credits into the sender's latch
+// (dropAtLink), which may belong to another shard; commit detects that
+// and runs this same code serially instead, keeping serial and parallel
+// runs bit-exact by construction.
+//
+//noc:commit-only
+func (n *Network) commitLinksNode(u int, c sim.Cycle) {
+	for p := topology.Port(1); int(p) < n.ports; p++ {
+		v := n.neighbor(u, p)
+		if v < 0 {
+			continue
+		}
+		q := p.Opposite() // v's output port facing u
+		mf := n.midFlight[v][q]
+		ld := n.linkDrop[v][q]
+		for _, of := range n.stagedFlits[v] {
+			if of.Out != q {
+				continue
 			}
 			dvc := of.DownVC
-			mf := n.midFlight[id][of.Out]
-			ld := n.linkDrop[id][of.Out]
 			if ld[dvc] {
 				// Rest of a packet whose head was already discarded at
 				// this link: keep dropping (even if the link was repaired
-				// mid-packet — the neighbor never saw the head).
-				n.dropAtLink(id, of, c)
+				// mid-packet — the neighbour never saw the head).
+				n.dropAtLink(v, of, c)
 				if of.F.Kind.IsTail() {
 					ld[dvc] = false
+					n.linkDropsActive--
 				}
 				continue
 			}
-			if n.deadLink(id, of.Out) && !mf[dvc] {
+			if n.deadLink(v, q) && !mf[dvc] {
 				// The head meets a dead link: discard the whole packet.
 				// (A packet whose head crossed while the link was alive —
 				// midFlight — completes gracefully instead; the fault
 				// takes effect at packet granularity.)
 				if of.F.Kind.IsHead() {
 					n.stats.RecordDrop(of.F.Pkt)
-					if on := n.obsNodes[id]; on != nil {
-						on.LinkDrop(c, int(of.Out), of.F.Pkt.Dst)
+					if on := n.obsNodes[v]; on != nil {
+						on.LinkDrop(c, int(q), of.F.Pkt.Dst)
 					}
 				}
-				n.dropAtLink(id, of, c)
+				n.dropAtLink(v, of, c)
 				if !of.F.Kind.IsTail() {
 					ld[dvc] = true
+					n.linkDropsActive++
 				}
 				continue
 			}
@@ -535,38 +762,31 @@ func (n *Network) commit(c sim.Cycle) {
 			if of.F.Kind.IsTail() {
 				mf[dvc] = false
 			}
-			n.linkFlits[id][of.Out]++
-			if on := n.obsNodes[id]; on != nil {
-				on.LinkFlit(int(of.Out))
+			n.linkFlits[v][q]++
+			if on := n.obsNodes[v]; on != nil {
+				on.LinkFlit(int(q))
 			}
-			n.inFlits[nb] = append(n.inFlits[nb],
-				router.InFlit{In: of.Out.Opposite(), VC: of.DownVC, F: of.F})
+			n.inFlits[u] = append(n.inFlits[u],
+				router.InFlit{In: p, VC: dvc, F: of.F})
 		}
-		n.stagedFlits[id] = nil
-		for _, cr := range n.stagedCredits[id] {
-			if cr.In == localPort {
-				n.inNICredits[id] = append(n.inNICredits[id], cr)
+		for _, cr := range n.stagedCredits[v] {
+			if cr.In != q {
 				continue
 			}
-			up, ok := n.mesh.Neighbor(id, cr.In)
-			if !ok {
-				panic(fmt.Sprintf("noc: router %d emitted credit through edge port %v", id, cr.In))
-			}
-			n.inCredits[up] = append(n.inCredits[up],
-				core.CreditIn{Out: cr.In.Opposite(), VC: cr.VC, VCFree: cr.VCFree})
+			n.inCredits[u] = append(n.inCredits[u],
+				core.CreditIn{Out: p, VC: cr.VC, VCFree: cr.VCFree})
 		}
-		n.stagedCredits[id] = nil
 	}
 }
 
-// startPool spawns the persistent compute workers, each owning a fixed
-// contiguous shard of nodes so every bucket has exactly one writer.
-// This is the only sanctioned goroutine spawn in simulation code (the
-// determinism analyzer in internal/analysis flags any other).
+// startPool spawns the persistent phase workers, each owning a fixed
+// contiguous shard of nodes so every latch bucket has exactly one writer
+// per phase. This is the only sanctioned goroutine spawn in simulation
+// code (the determinism analyzer in internal/analysis flags any other).
 //
 //noc:worker-pool
 func (n *Network) startPool() {
-	p := &stepPool{start: make([]chan sim.Cycle, n.workers)}
+	p := &stepPool{start: make([]chan stepJob, n.workers)}
 	nodes := len(n.routers)
 	lo := 0
 	for i := range p.start {
@@ -574,12 +794,19 @@ func (n *Network) startPool() {
 		if i < nodes%n.workers {
 			hi++
 		}
-		ch := make(chan sim.Cycle, 1)
+		ch := make(chan stepJob, 1)
 		p.start[i] = ch
-		go func(lo, hi int, ch chan sim.Cycle) {
-			for c := range ch {
-				for id := lo; id < hi; id++ {
-					n.computeNode(id, c)
+		go func(lo, hi int, ch chan stepJob) {
+			for j := range ch {
+				switch j.phase {
+				case phaseCompute:
+					for id := lo; id < hi; id++ {
+						n.computeNode(id, j.cycle)
+					}
+				case phaseCommitLinks:
+					for id := lo; id < hi; id++ {
+						n.commitLinksNode(id, j.cycle)
+					}
 				}
 				p.wg.Done()
 			}
@@ -589,10 +816,10 @@ func (n *Network) startPool() {
 	n.pool = p
 }
 
-// Close releases the compute worker pool. It is idempotent and safe on
-// a serial network; the network itself remains usable — a subsequent
-// Step simply restarts the pool. Long-lived drivers that build many
-// parallel networks (sweeps, campaigns) should Close each one.
+// Close releases the phase worker pool. It is idempotent and safe on a
+// serial network; the network itself remains usable — a subsequent Step
+// simply restarts the pool. Long-lived drivers that build many parallel
+// networks (sweeps, campaigns) should Close each one.
 func (n *Network) Close() {
 	if n.pool == nil {
 		return
@@ -625,6 +852,21 @@ func (n *Network) Drain(limit sim.Cycle) bool {
 		n.Step()
 	}
 	return n.stats.InFlight() == 0 && n.pendingRetx() == 0
+}
+
+// InjectionIdle reports whether every NI has drained its injection
+// queues and finished streaming its active packets into the network.
+// Once the traffic source stops offering, an idle injection side means
+// flit segmentation — the one allocation left on the step path — is
+// over; the perf harness and the zero-alloc regression test use it to
+// find the steady-state measurement window.
+func (n *Network) InjectionIdle() bool {
+	for _, ni := range n.nis {
+		if ni.QueuedPackets() > 0 || ni.Sending() {
+			return false
+		}
+	}
+	return true
 }
 
 // pendingRetx counts unacknowledged packets still tracked by some

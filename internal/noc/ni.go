@@ -21,8 +21,12 @@ type NI struct {
 
 	// queues holds packets waiting for a VC, one queue per message class.
 	queues [][]*flit.Packet
-	// active maps an allocated local VC to its remaining flits.
-	active map[int][]*flit.Flit
+	// active holds, per allocated local VC, the packet's remaining
+	// flits (empty when the VC is idle); activeVCs counts the non-empty
+	// entries. A dense slice instead of a map keeps the per-cycle send
+	// scan allocation-free.
+	active    [][]*flit.Flit
+	activeVCs int
 	// vcBusy and credits track the router's local input VCs.
 	vcBusy  []bool
 	credits []int
@@ -52,7 +56,7 @@ func newNI(node int, r routerCore, on *obs.NodeObs, onEject func(*flit.Packet, s
 		r:       r,
 		cfg:     cfg,
 		queues:  make([][]*flit.Packet, cfg.Classes),
-		active:  make(map[int][]*flit.Flit),
+		active:  make([][]*flit.Flit, cfg.VCs),
 		vcBusy:  make([]bool, cfg.VCs),
 		credits: make([]int, cfg.VCs),
 		onEject: onEject,
@@ -84,7 +88,7 @@ func (ni *NI) QueuedPackets() int {
 }
 
 // Sending reports whether any packet is mid-injection.
-func (ni *NI) Sending() bool { return len(ni.active) > 0 }
+func (ni *NI) Sending() bool { return ni.activeVCs > 0 }
 
 // acceptCredit processes a credit returned by the router's local input
 // port.
@@ -135,6 +139,7 @@ func (ni *NI) tick(cy sim.Cycle) {
 			p.InjectedAt = cy
 			ni.vcBusy[v] = true
 			ni.active[v] = flit.Segment(p)
+			ni.activeVCs++
 			break
 		}
 	}
@@ -146,8 +151,8 @@ func (ni *NI) tick(cy sim.Cycle) {
 	// per cycle), rotating the starting VC for fairness.
 	for i := 0; i < ni.cfg.VCs; i++ {
 		v := (ni.sendScan + i) % ni.cfg.VCs
-		fl, ok := ni.active[v]
-		if !ok || ni.credits[v] == 0 {
+		fl := ni.active[v]
+		if len(fl) == 0 || ni.credits[v] == 0 {
 			continue
 		}
 		f := fl[0]
@@ -157,7 +162,8 @@ func (ni *NI) tick(cy sim.Cycle) {
 		}
 		ni.creditSpend(v)
 		if len(fl) == 1 {
-			delete(ni.active, v)
+			ni.active[v] = nil
+			ni.activeVCs--
 		} else {
 			ni.active[v] = fl[1:]
 		}

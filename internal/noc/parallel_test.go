@@ -20,6 +20,7 @@ import (
 	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
+	"gonoc/internal/topology"
 	"gonoc/internal/traffic"
 )
 
@@ -65,10 +66,12 @@ type timedFault struct {
 // confCase is one workload/fault configuration of the suite.
 type confCase struct {
 	name        string
-	baseline    bool          // unprotected router instead of the FT design
+	topo        string // topology kind ("" = mesh)
+	conc        int    // cmesh concentration (0 = 1)
+	baseline    bool   // unprotected router instead of the FT design
 	makeTraffic func() noc.Traffic
-	faults      []string      // injection specs applied before cycle 0
-	midFaults   []timedFault  // injection specs applied mid-run via a hook
+	faults      []string     // injection specs applied before cycle 0
+	midFaults   []timedFault // injection specs applied mid-run via a hook
 	retx        noc.RetxConfig
 	faultMean   sim.Cycle // random safe-only injector mean (0 = none)
 	cycles      sim.Cycle
@@ -88,8 +91,22 @@ func uniformTraffic(seed uint64) func() noc.Traffic {
 
 func transposeTraffic(seed uint64) func() noc.Traffic {
 	return func() noc.Traffic {
-		m := noc.MustNew(noc.Config{Width: 4, Height: 4, Router: router.DefaultConfig()}, nil).Mesh()
-		src := traffic.NewSynthetic(16, 0.05, traffic.Transpose(m), traffic.FixedSize(3), seed)
+		src := traffic.NewSynthetic(16, 0.05, traffic.Transpose(topology.NewMesh(4, 4)), traffic.FixedSize(3), seed)
+		src.StopAt(stopAt)
+		return src
+	}
+}
+
+// tornadoTorusTraffic drives the torus cases with the pattern that is
+// adversarial for minimal torus routing: every packet crosses half its
+// ring, so both dateline layers carry traffic.
+func tornadoTorusTraffic(seed uint64) func() noc.Traffic {
+	return func() noc.Traffic {
+		tp, err := topology.New("torus", 4, 4, 1)
+		if err != nil {
+			panic(err)
+		}
+		src := traffic.NewSynthetic(16, 0.05, traffic.Tornado(tp), traffic.FixedSize(3), seed)
 		src.StopAt(stopAt)
 		return src
 	}
@@ -158,6 +175,27 @@ func conformanceCases() []confCase {
 			retx:   noc.RetxConfig{Timeout: 300, MaxRetries: 4},
 			cycles: stopAt,
 		},
+		{
+			name:        "tornado/ft/torus/fault-free",
+			topo:        "torus",
+			makeTraffic: tornadoTorusTraffic(99),
+			cycles:      stopAt,
+		},
+		{
+			name:        "uniform/ft/torus/static-router-faults",
+			topo:        "torus",
+			makeTraffic: uniformTraffic(7001),
+			faults:      []string{"5:sa1:e", "9:rc:l", "14:xb:w"},
+			cycles:      stopAt,
+		},
+		{
+			name:        "uniform/ft/cmesh/static-faults",
+			topo:        "cmesh",
+			conc:        2,
+			makeTraffic: uniformTraffic(555),
+			faults:      []string{"5:sa1:e", "3:xb:w"},
+			cycles:      stopAt,
+		},
 	}
 }
 
@@ -171,7 +209,8 @@ func runCase(t *testing.T, cc confCase, workers int) outcome {
 	rc.Obs = o
 	rec := &recorder{inner: cc.makeTraffic()}
 	n, err := noc.New(noc.Config{
-		Width: 4, Height: 4, Router: rc, Warmup: 100, Workers: workers, Retx: cc.retx,
+		Width: 4, Height: 4, Topo: cc.topo, Conc: cc.conc,
+		Router: rc, Warmup: 100, Workers: workers, Retx: cc.retx,
 	}, rec)
 	if err != nil {
 		t.Fatalf("%s: %v", cc.name, err)
@@ -279,8 +318,11 @@ func TestSerialParallelConformance(t *testing.T) {
 				t.Fatal("empty observables")
 			}
 			workerSet := []int{8}
-			if i == 0 {
+			switch {
+			case i == 0:
 				workerSet = []int{2, 3, 8} // 3 does not divide 16: uneven shards
+			case cc.topo != "":
+				workerSet = []int{2, 4, 8} // new topology families: full worker sweep
 			}
 			for _, w := range workerSet {
 				diffOutcomes(t, cc.name, w, ref, runCase(t, cc, w))
@@ -294,24 +336,47 @@ func TestSerialParallelConformance(t *testing.T) {
 // parallel configuration must produce byte-identical statistics and
 // identical canonical event streams.
 func TestGoldenDeterminism(t *testing.T) {
-	cc := confCase{
-		name:        "golden",
-		makeTraffic: transposeTraffic(2014),
-		faults:      []string{"5:sa1:e", "10:xb:w"},
-		faultMean:   800,
-		cycles:      stopAt,
+	cases := []confCase{
+		{
+			name:        "golden-mesh",
+			makeTraffic: transposeTraffic(2014),
+			faults:      []string{"5:sa1:e", "10:xb:w"},
+			faultMean:   800,
+			cycles:      stopAt,
+		},
+		{
+			name:        "golden-torus",
+			topo:        "torus",
+			makeTraffic: tornadoTorusTraffic(2014),
+			faults:      []string{"5:sa1:e", "10:xb:w"},
+			faultMean:   800,
+			cycles:      stopAt,
+		},
+		{
+			name:        "golden-cmesh",
+			topo:        "cmesh",
+			conc:        2,
+			makeTraffic: uniformTraffic(2014),
+			faults:      []string{"5:sa1:e", "10:xb:w"},
+			cycles:      stopAt,
+		},
 	}
-	run := func() outcome { return runCase(t, cc, 4) }
-	ref := run()
-	if ref.summary == "" {
-		t.Fatal("empty summary")
-	}
-	for rep := 0; rep < 2; rep++ {
-		got := run()
-		if got.summary != ref.summary {
-			t.Fatalf("run %d summary diverged:\n%s\nvs\n%s", rep+2, ref.summary, got.summary)
-		}
-		diffOutcomes(t, cc.name, 4, ref, got)
+	for _, cc := range cases {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			run := func() outcome { return runCase(t, cc, 4) }
+			ref := run()
+			if ref.summary == "" {
+				t.Fatal("empty summary")
+			}
+			for rep := 0; rep < 2; rep++ {
+				got := run()
+				if got.summary != ref.summary {
+					t.Fatalf("run %d summary diverged:\n%s\nvs\n%s", rep+2, ref.summary, got.summary)
+				}
+				diffOutcomes(t, cc.name, 4, ref, got)
+			}
+		})
 	}
 }
 

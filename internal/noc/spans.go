@@ -14,8 +14,8 @@ func (n *Network) NextHop(id, out int) (nextRouter, inPort int, ok bool) {
 	if p == localPort {
 		return 0, 0, false
 	}
-	nb, ok := n.mesh.Neighbor(id, p)
-	if !ok {
+	nb := n.neighbor(id, p)
+	if nb < 0 {
 		return 0, 0, false
 	}
 	return nb, int(p.Opposite()), true

@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"gonoc/internal/topology"
+)
+
+// Torus routing.
+//
+// The torus's wrap-around links close every row and column into a ring,
+// which puts a cycle in each ring's channel-dependency graph: packets
+// buffered all the way around a ring can each wait on the next, forever.
+// The classic fix, used here, is dateline virtual-channel layers: each
+// message class's VC range is split into two layers, a packet starts in
+// layer 0, and crossing a dimension's dateline (any wrap link, flagged
+// by topology.Wrap) forces it into layer 1 for the rest of that
+// dimension. Within a layer the ring's channel dependencies are ordered
+// by position — layer 0 never wraps without leaving the layer, and a
+// minimal route crosses each dimension's dateline at most once (pinned
+// by TestTorusWrapCrossings), so layer 1's dependencies start at the
+// wrap and stay ordered too. The combined graph is acyclic, hence
+// deadlock free.
+//
+// The layer is derived, not stored: a packet's current layer is read off
+// its input VC index (upper half of the class range = layer 1), exactly
+// like the fault-aware mesh routing in routing.go, and it resets to 0
+// when the packet turns from the X ring into the Y ring (dimension-order
+// routing never returns to X, so the X layer history is irrelevant).
+// Freshly injected packets (input port Local) start in layer 0.
+//
+// torusRoute is installed as every router's core.RouteFn at build time.
+// It returns the same output port as the topology's minimal-direction
+// routing — only the downstream VC range is constrained — so the
+// Reroutes counter stays zero and the flit path shapes match
+// topology.Torus.Route exactly.
+
+// sameAxis reports whether two directional ports lie on the same
+// dimension (both X: East/West, or both Y: North/South).
+func sameAxis(a, b topology.Port) bool {
+	ax := a == topology.East || a == topology.West
+	bx := b == topology.East || b == topology.West
+	return ax == bx
+}
+
+// torusRoute is the core.RouteFn for torus networks: minimal-direction
+// dimension-order routing with dateline VC layers. New validates that
+// every message class has at least numLayers VCs, so the layer halves
+// are never empty.
+func (n *Network) torusRoute(cur int, in topology.Port, vcIdx int, dst int) (topology.Port, int, int, bool) {
+	cfg := n.cfg.Router
+	lo, hi := cfg.ClassRange(cfg.ClassOf(vcIdx))
+	out := n.topo.Route(cur, dst)
+	if out == topology.Local {
+		return out, lo, hi, true
+	}
+	half := (hi - lo) / numLayers
+	layer := 0
+	if in != topology.Local && sameAxis(in, out) && vcIdx >= lo+half {
+		// Still travelling the same ring on the dateline layer.
+		layer = 1
+	}
+	if n.wrapLink(cur, out) {
+		// Crossing the dateline: the downstream buffer is on layer 1.
+		layer = 1
+	}
+	if layer == 0 {
+		return out, lo, lo + half, true
+	}
+	return out, lo + half, hi, true
+}

@@ -36,9 +36,10 @@ func (n *Network) Heatmap() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "router load heatmap (max %d flits)\n", max)
-	for y := 0; y < n.cfg.Height; y++ {
-		for x := 0; x < n.cfg.Width; x++ {
-			id := n.mesh.ID(topology.Coord{X: x, Y: y})
+	w, h := n.topo.Dims()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := n.topo.ID(topology.Coord{X: x, Y: y})
 			switch {
 			case !n.routers[id].Functional():
 				b.WriteString(" X")

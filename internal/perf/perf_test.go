@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	want := Snapshot{
+		Schema: Schema, GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", CPUs: 4,
+		Points: []Point{
+			{Case: Case{Topo: "torus", Width: 32, Height: 32, Workers: 4, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000},
+				StepsPerSec: 850, RouterCyclesPerSec: 870400, AllocsPerStep: 0, BytesPerStep: 0},
+		},
+	}
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != want.Schema || got.CPUs != want.CPUs || len(got.Points) != 1 {
+		t.Fatalf("round trip mangled the snapshot: %+v", got)
+	}
+	if got.Points[0].Key() != "torus-32x32-w4" {
+		t.Fatalf("key = %q, want torus-32x32-w4", got.Points[0].Key())
+	}
+	if got.Points[0].RouterCyclesPerSec != 870400 {
+		t.Fatalf("router cycles = %v, want 870400", got.Points[0].RouterCyclesPerSec)
+	}
+}
+
+func TestReadFileRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"gonoc-bench-scaling/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want a schema mismatch", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Case{Width: 64, Height: 64, Workers: 1}
+	ref := Snapshot{Points: []Point{{Case: base, RouterCyclesPerSec: 1000}}}
+
+	if f := Compare(ref, Snapshot{Points: []Point{{Case: base, RouterCyclesPerSec: 900}}}, 0.30); len(f) != 0 {
+		t.Fatalf("10%% slowdown inside tolerance flagged: %v", f)
+	}
+	f := Compare(ref, Snapshot{Points: []Point{{Case: base, RouterCyclesPerSec: 600}}}, 0.30)
+	if len(f) != 1 || !strings.Contains(f[0], "below") {
+		t.Fatalf("40%% slowdown not flagged: %v", f)
+	}
+	f = Compare(ref, Snapshot{Points: []Point{{Case: base, RouterCyclesPerSec: 1000, AllocsPerStep: 0.5}}}, 0.30)
+	if len(f) != 1 || !strings.Contains(f[0], "allocates") {
+		t.Fatalf("nonzero allocs not flagged: %v", f)
+	}
+	// A fresh point with no reference key is skipped, not an error.
+	other := Case{Topo: "torus", Width: 16, Height: 16, Workers: 2}
+	if f := Compare(ref, Snapshot{Points: []Point{{Case: other, RouterCyclesPerSec: 1}}}, 0.30); len(f) != 0 {
+		t.Fatalf("unmatched key flagged: %v", f)
+	}
+}
+
+// TestBenchSnapshotSmoke is the CI gate: it measures the quick
+// trajectory in-process and enforces the zero-alloc contract on every
+// point, and checks that the checked-in BENCH_scaling.json parses under
+// the current schema. With NOC_BENCH_STRICT=1 it additionally fails if
+// throughput regressed more than 30% against the checked-in reference —
+// meaningful only on hardware comparable to the machine that recorded
+// the snapshot, hence the opt-in.
+func TestBenchSnapshotSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement takes ~15s; skipped in -short mode")
+	}
+	fresh, err := Collect(QuickTrajectory(), func(p Point) {
+		t.Logf("%s: %.0f router-cycles/sec, %.2f allocs/op", p.Key(), p.RouterCyclesPerSec, p.AllocsPerStep)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fresh.Points {
+		if p.AllocsPerStep != 0 {
+			t.Errorf("%s: steady-state Step allocates %.2f objects/op, want 0", p.Key(), p.AllocsPerStep)
+		}
+	}
+
+	ref, err := ReadFile("../../BENCH_scaling.json")
+	if err != nil {
+		t.Fatalf("checked-in snapshot unreadable: %v", err)
+	}
+	if len(ref.Points) == 0 {
+		t.Fatal("checked-in snapshot has no points; regenerate with noctool bench -o BENCH_scaling.json")
+	}
+	findings := Compare(ref, fresh, 0.30)
+	if os.Getenv("NOC_BENCH_STRICT") == "1" {
+		for _, f := range findings {
+			t.Error(f)
+		}
+	} else if len(findings) > 0 {
+		t.Logf("non-strict mode; would have flagged: %v", findings)
+	}
+}

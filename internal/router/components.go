@@ -12,15 +12,15 @@ import (
 // protected router adds a spatially redundant duplicate that is switched
 // in when the primary is detected faulty (Section V-A).
 type RCUnit struct {
-	mesh      topology.Mesh
+	topo      topology.Topology
 	redundant bool // protected router: duplicate unit present
 	faulty    [2]bool
 }
 
-// NewRCUnit returns an RC unit for a router at a node of mesh. redundant
+// NewRCUnit returns an RC unit for a router at a node of topo. redundant
 // selects the protected router's duplicate copy.
-func NewRCUnit(mesh topology.Mesh, redundant bool) *RCUnit {
-	return &RCUnit{mesh: mesh, redundant: redundant}
+func NewRCUnit(topo topology.Topology, redundant bool) *RCUnit {
+	return &RCUnit{topo: topo, redundant: redundant}
 }
 
 // SetFaulty marks one copy faulty: copy 0 is the primary, copy 1 the
@@ -43,13 +43,13 @@ func (u *RCUnit) Usable() bool {
 	return u.redundant && !u.faulty[1]
 }
 
-// Compute runs dimension-order routing for a packet at node cur headed to
-// dst. ok is false when no fault-free copy remains.
+// Compute runs the topology's deterministic minimal routing for a packet
+// at node cur headed to dst. ok is false when no fault-free copy remains.
 func (u *RCUnit) Compute(cur, dst int) (topology.Port, bool) {
 	if !u.Usable() {
 		return topology.Local, false
 	}
-	return u.mesh.RouteXY(cur, dst), true
+	return u.topo.Route(cur, dst), true
 }
 
 // VAlloc holds the two-stage separable virtual-channel allocator's

@@ -1,0 +1,47 @@
+package topology
+
+import "fmt"
+
+// CMesh is a concentrated W×H mesh: the router graph is exactly a W×H
+// mesh (same links, same XY routing, same coordinates), but each router
+// serves C terminals (cores) instead of one. For a fixed core count the
+// router grid shrinks by C×, which is how real many-core fabrics keep
+// router count and wire length down; the cost is that C cores share one
+// injection/ejection port, which is the concentration bottleneck the
+// simulator models by keeping a single one-flit-per-cycle NI per router.
+type CMesh struct {
+	// Mesh is the underlying router graph; CMesh adds only the
+	// terminal↔router mapping on top of it.
+	Mesh
+	// C is the concentration: terminals per router (>= 1).
+	C int
+}
+
+// NewCMesh returns a W×H concentrated mesh with conc terminals per
+// router. It panics unless both dimensions and conc are >= 1.
+func NewCMesh(w, h, conc int) CMesh {
+	if w < 1 || h < 1 || conc < 1 {
+		panic(fmt.Sprintf("topology: invalid cmesh %dx%dx%d", w, h, conc))
+	}
+	return CMesh{Mesh: NewMesh(w, h), C: conc}
+}
+
+// Kind implements Topology.
+func (c CMesh) Kind() string { return "cmesh" }
+
+// Concentration returns the terminals-per-router count.
+func (c CMesh) Concentration() int { return c.C }
+
+// Terminals returns the total terminal (core) count, W*H*C.
+func (c CMesh) Terminals() int { return c.Nodes() * c.C }
+
+// TerminalRouter returns the router serving terminal t: terminals are
+// blocked C-per-router in terminal-ID order. It panics out of range.
+func (c CMesh) TerminalRouter(t int) int {
+	if t < 0 || t >= c.Terminals() {
+		panic(fmt.Sprintf("topology: terminal %d outside %d-terminal cmesh", t, c.Terminals()))
+	}
+	return t / c.C
+}
+
+var _ Topology = CMesh{}

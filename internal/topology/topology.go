@@ -1,7 +1,3 @@
-// Package topology models the NoC's physical structure: a 2-D mesh of
-// nodes, the five router ports (Local, North, East, South, West) and
-// dimension-order (XY) routing — the configuration the paper evaluates
-// (an 8×8 mesh, 64 cores, XY routing, 5×5 routers).
 package topology
 
 import "fmt"
@@ -64,6 +60,68 @@ type Coord struct{ X, Y int }
 
 // String implements fmt.Stringer.
 func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Topology is the router-graph abstraction the simulator builds against:
+// a family of radix-5 router networks sharing the mesh coordinate system
+// (see the package documentation). Implementations are small value types
+// (Mesh, Torus, CMesh) and must be deterministic pure functions of the
+// node arguments.
+type Topology interface {
+	// Kind names the topology family: "mesh", "torus" or "cmesh".
+	Kind() string
+	// Nodes returns the number of routers.
+	Nodes() int
+	// Dims returns the router-grid dimensions (W, H).
+	Dims() (w, h int)
+	// Coord returns the position of node id; it panics out of range.
+	Coord(id int) Coord
+	// ID returns the node id at position c; it panics out of range.
+	ID(c Coord) int
+	// Neighbor returns the node reached from id through port p and
+	// whether such a link exists (mesh edges lack some; Local has none).
+	Neighbor(id int, p Port) (int, bool)
+	// Route returns the output port a flit at cur takes toward dst under
+	// the family's deterministic minimal routing (XY for mesh/cmesh,
+	// minimal-direction DOR for torus). Route(dst, dst) is Local.
+	Route(cur, dst int) Port
+	// Hops returns the number of router-to-router hops on the Route path
+	// from src to dst.
+	Hops(src, dst int) int
+	// Wrap reports whether the link leaving id through p is a
+	// wrap-around (dateline) link. Always false for mesh and cmesh.
+	Wrap(id int, p Port) bool
+}
+
+// New builds a topology from its kind name: "mesh", "torus" or "cmesh"
+// (conc is the terminals-per-router concentration, used by cmesh only
+// and ignored elsewhere; 0 defaults to 1).
+func New(kind string, w, h, conc int) (Topology, error) {
+	switch kind {
+	case "", "mesh":
+		if w < 1 || h < 1 {
+			return nil, fmt.Errorf("topology: invalid mesh %dx%d", w, h)
+		}
+		return NewMesh(w, h), nil
+	case "torus":
+		if w < 1 || h < 1 {
+			return nil, fmt.Errorf("topology: invalid torus %dx%d", w, h)
+		}
+		return NewTorus(w, h), nil
+	case "cmesh":
+		if w < 1 || h < 1 {
+			return nil, fmt.Errorf("topology: invalid cmesh %dx%d", w, h)
+		}
+		if conc == 0 {
+			conc = 1
+		}
+		if conc < 1 {
+			return nil, fmt.Errorf("topology: invalid cmesh concentration %d", conc)
+		}
+		return NewCMesh(w, h, conc), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q (want mesh, torus or cmesh)", kind)
+	}
+}
 
 // Mesh is a W×H 2-D mesh topology. Node IDs are assigned row-major:
 // id = y*W + x.
@@ -174,3 +232,20 @@ func abs(x int) int {
 	}
 	return x
 }
+
+// Kind implements Topology.
+func (m Mesh) Kind() string { return "mesh" }
+
+// Dims implements Topology.
+func (m Mesh) Dims() (int, int) { return m.W, m.H }
+
+// Route implements Topology: dimension-order XY routing.
+func (m Mesh) Route(cur, dst int) Port { return m.RouteXY(cur, dst) }
+
+// Hops implements Topology: the Manhattan distance.
+func (m Mesh) Hops(src, dst int) int { return m.HopsXY(src, dst) }
+
+// Wrap implements Topology: a mesh has no wrap-around links.
+func (m Mesh) Wrap(int, Port) bool { return false }
+
+var _ Topology = Mesh{}

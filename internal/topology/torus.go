@@ -1,0 +1,149 @@
+package topology
+
+import "fmt"
+
+// Torus is a W×H 2-D torus: the mesh grid with wrap-around links closing
+// every row and column into a ring. Node IDs and coordinates are shared
+// with Mesh (row-major, origin north-west). Routing is minimal-direction
+// dimension-order: X before Y, shorter way around each ring, ties at
+// exactly half the ring breaking toward the positive direction (East,
+// South). Deadlock freedom across the wrap links is the network layer's
+// job (dateline VC layers; see internal/noc).
+type Torus struct {
+	W, H int
+}
+
+// NewTorus returns a W×H torus. It panics unless both dimensions are
+// >= 1. A dimension of size 1 simply has no links (as in a mesh); a
+// dimension of size 2 has both a direct and a wrap link between each
+// router pair.
+func NewTorus(w, h int) Torus {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: invalid torus %dx%d", w, h))
+	}
+	return Torus{W: w, H: h}
+}
+
+// Kind implements Topology.
+func (t Torus) Kind() string { return "torus" }
+
+// Nodes implements Topology.
+func (t Torus) Nodes() int { return t.W * t.H }
+
+// Dims implements Topology.
+func (t Torus) Dims() (int, int) { return t.W, t.H }
+
+// Coord implements Topology; it panics for out-of-range ids.
+func (t Torus) Coord(id int) Coord {
+	if id < 0 || id >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d outside %dx%d torus", id, t.W, t.H))
+	}
+	return Coord{X: id % t.W, Y: id / t.W}
+}
+
+// ID implements Topology; it panics for out-of-range coords.
+func (t Torus) ID(c Coord) int {
+	if c.X < 0 || c.X >= t.W || c.Y < 0 || c.Y >= t.H {
+		panic(fmt.Sprintf("topology: coord %v outside %dx%d torus", c, t.W, t.H))
+	}
+	return c.Y*t.W + c.X
+}
+
+// Neighbor implements Topology: directional moves wrap modulo the
+// dimension size. A size-1 dimension has no links at all (a self-link
+// would be meaningless).
+func (t Torus) Neighbor(id int, p Port) (int, bool) {
+	c := t.Coord(id)
+	switch p {
+	case North, South:
+		if t.H < 2 {
+			return -1, false
+		}
+		if p == North {
+			c.Y = (c.Y - 1 + t.H) % t.H
+		} else {
+			c.Y = (c.Y + 1) % t.H
+		}
+	case East, West:
+		if t.W < 2 {
+			return -1, false
+		}
+		if p == East {
+			c.X = (c.X + 1) % t.W
+		} else {
+			c.X = (c.X - 1 + t.W) % t.W
+		}
+	default:
+		return -1, false
+	}
+	return t.ID(c), true
+}
+
+// Wrap implements Topology: the wrap links are East out of the x=W-1
+// column, West out of x=0, South out of y=H-1 and North out of y=0.
+func (t Torus) Wrap(id int, p Port) bool {
+	c := t.Coord(id)
+	switch p {
+	case East:
+		return t.W >= 2 && c.X == t.W-1
+	case West:
+		return t.W >= 2 && c.X == 0
+	case South:
+		return t.H >= 2 && c.Y == t.H-1
+	case North:
+		return t.H >= 2 && c.Y == 0
+	}
+	return false
+}
+
+// ringStep returns the signed minimal step from a to b on a ring of size
+// n: +1 for the positive direction, -1 for negative, 0 when a == b. A
+// tie (distance exactly n/2 on an even ring) breaks positive, so routing
+// stays deterministic.
+func ringStep(a, b, n int) int {
+	if a == b {
+		return 0
+	}
+	fwd := (b - a + n) % n // hops going positive
+	if fwd <= n-fwd {
+		return 1
+	}
+	return -1
+}
+
+// Route implements Topology: minimal-direction dimension-order routing,
+// X before Y. The returned port never reverses a minimal path (a packet
+// is never routed 180° back the way it came).
+func (t Torus) Route(cur, dst int) Port {
+	cc, dc := t.Coord(cur), t.Coord(dst)
+	switch ringStep(cc.X, dc.X, t.W) {
+	case 1:
+		return East
+	case -1:
+		return West
+	}
+	switch ringStep(cc.Y, dc.Y, t.H) {
+	case 1:
+		return South
+	case -1:
+		return North
+	}
+	return Local
+}
+
+// ringDist returns the minimal hop count from a to b on a ring of size n.
+func ringDist(a, b, n int) int {
+	d := abs(a - b)
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops implements Topology: the wrap-aware Manhattan distance.
+func (t Torus) Hops(src, dst int) int {
+	s, d := t.Coord(src), t.Coord(dst)
+	return ringDist(s.X, d.X, t.W) + ringDist(s.Y, d.Y, t.H)
+}
+
+var _ Topology = Torus{}

@@ -34,54 +34,59 @@ func Uniform(nodes int) DestFn {
 }
 
 // Transpose sends (x, y) → (y, x); nodes on the diagonal fall back to
-// uniform. Requires a square mesh.
-func Transpose(m topology.Mesh) DestFn {
-	if m.W != m.H {
-		panic(fmt.Sprintf("traffic: transpose needs a square mesh, got %dx%d", m.W, m.H))
+// uniform. Requires a square router grid (any topology family).
+func Transpose(t topology.Topology) DestFn {
+	w, h := t.Dims()
+	if w != h {
+		panic(fmt.Sprintf("traffic: transpose needs a square grid, got %dx%d", w, h))
 	}
-	uni := Uniform(m.Nodes())
+	uni := Uniform(t.Nodes())
 	return func(src int, r *rng.Stream) int {
-		c := m.Coord(src)
+		c := t.Coord(src)
 		if c.X == c.Y {
 			return uni(src, r)
 		}
-		return m.ID(topology.Coord{X: c.Y, Y: c.X})
+		return t.ID(topology.Coord{X: c.Y, Y: c.X})
 	}
 }
 
 // BitComplement sends (x, y) → (W−1−x, H−1−y); the centre falls back to
-// uniform on odd-sized meshes.
-func BitComplement(m topology.Mesh) DestFn {
-	uni := Uniform(m.Nodes())
+// uniform on odd-sized grids.
+func BitComplement(t topology.Topology) DestFn {
+	w, h := t.Dims()
+	uni := Uniform(t.Nodes())
 	return func(src int, r *rng.Stream) int {
-		c := m.Coord(src)
-		d := topology.Coord{X: m.W - 1 - c.X, Y: m.H - 1 - c.Y}
+		c := t.Coord(src)
+		d := topology.Coord{X: w - 1 - c.X, Y: h - 1 - c.Y}
 		if d == c {
 			return uni(src, r)
 		}
-		return m.ID(d)
+		return t.ID(d)
 	}
 }
 
-// Tornado sends halfway around each dimension: (x, y) → ((x+W/2−1) mod W, y).
-func Tornado(m topology.Mesh) DestFn {
-	uni := Uniform(m.Nodes())
+// Tornado sends halfway around each dimension: (x, y) → ((x+W/2) mod W, y).
+// On a torus this is the classic adversarial pattern for minimal routing:
+// every packet travels the maximum distance its ring allows.
+func Tornado(t topology.Topology) DestFn {
+	w, _ := t.Dims()
+	uni := Uniform(t.Nodes())
 	return func(src int, r *rng.Stream) int {
-		c := m.Coord(src)
-		d := topology.Coord{X: (c.X + m.W/2) % m.W, Y: c.Y}
+		c := t.Coord(src)
+		d := topology.Coord{X: (c.X + w/2) % w, Y: c.Y}
 		if d == c {
 			return uni(src, r)
 		}
-		return m.ID(d)
+		return t.ID(d)
 	}
 }
 
-// Neighbor sends to a uniformly chosen mesh neighbour.
-func Neighbor(m topology.Mesh) DestFn {
+// Neighbor sends to a uniformly chosen directly-linked neighbour.
+func Neighbor(t topology.Topology) DestFn {
 	return func(src int, r *rng.Stream) int {
 		dirs := []topology.Port{topology.North, topology.East, topology.South, topology.West}
 		for {
-			if n, ok := m.Neighbor(src, dirs[r.Intn(len(dirs))]); ok {
+			if n, ok := t.Neighbor(src, dirs[r.Intn(len(dirs))]); ok && n != src {
 				return n
 			}
 		}

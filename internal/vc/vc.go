@@ -114,7 +114,11 @@ func NewVC(index, depth int) *VC {
 	if depth < 1 {
 		panic(fmt.Sprintf("vc: invalid depth %d", depth))
 	}
-	return &VC{Index: index, depth: depth, OutVC: None, ID: None, CreditHome: index}
+	// The buffer is fully pre-allocated: credit flow control bounds it at
+	// depth, and growing it lazily would put first-fill allocations on
+	// the steady-state tick path.
+	return &VC{Index: index, depth: depth, buf: make([]*flit.Flit, 0, depth),
+		OutVC: None, ID: None, CreditHome: index}
 }
 
 // Depth returns the buffer capacity in flits.

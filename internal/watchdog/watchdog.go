@@ -89,8 +89,8 @@ func New(net *noc.Network, threshold sim.Cycle) *Monitor {
 
 // hook samples every VC once per cycle.
 func (m *Monitor) hook(c sim.Cycle) {
-	mesh := m.net.Mesh()
-	for node := 0; node < mesh.Nodes(); node++ {
+	topo := m.net.Topo()
+	for node := 0; node < topo.Nodes(); node++ {
 		r := m.net.Router(node)
 		cfg := r.Config()
 		for p := 0; p < cfg.Ports; p++ {
