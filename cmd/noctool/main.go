@@ -98,6 +98,8 @@ func main() {
 		err = runRecord(args)
 	case "replay":
 		err = runReplay(args)
+	case "check":
+		err = runCheck(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -137,6 +139,11 @@ commands:
              the BENCH_scaling.json snapshot (see BENCHMARKS.md)
   record     record a workload's offered packets to a trace file
   replay     replay a recorded trace (optionally with faults)
+  check      exhaustively model-check a small mesh: prove deadlock
+             freedom and full delivery for the fault-free network and
+             under every single link/router fault (-w/-h dimensions,
+             -budget wall-clock bound, -mc N for sampled mode, -crossval
+             for the reliability cross-check)
 
 global flags (before the command):
   -pprof addr   serve net/http/pprof on addr (e.g. -pprof :6060)

@@ -64,6 +64,21 @@ func (a *RoundRobin) Grant(requests []bool) (winner int, ok bool) {
 	return -1, false
 }
 
+// Prio returns the index the next Grant scans first. Together with
+// SetPrio it lets checkpoint/restore and the model checker capture the
+// arbiter's full mutable state (the priority pointer is the only state
+// besides the fault flag).
+func (a *RoundRobin) Prio() int { return a.prio }
+
+// SetPrio restores the scan-first index saved by Prio. It panics when p
+// is outside [0, Inputs()).
+func (a *RoundRobin) SetPrio(p int) {
+	if p < 0 || p >= a.n {
+		panic(fmt.Sprintf("arbiter: prio %d out of range for %d-input arbiter", p, a.n))
+	}
+	a.prio = p
+}
+
 // Peek is Grant without the priority update, for lookahead logic and tests.
 func (a *RoundRobin) Peek(requests []bool) (winner int, ok bool) {
 	if len(requests) != a.n {
@@ -127,6 +142,23 @@ func (b *Bypassed) InBypass() bool { return b.Arb.Faulty() && !b.bypassFaulty }
 
 // DefaultWinner returns the input currently named by the bypass register.
 func (b *Bypassed) DefaultWinner() int { return b.defaultWinner }
+
+// BypassState returns the bypass register state: the current default
+// winner and the number of bypass grants since it last rotated. Paired
+// with SetBypassState for checkpoint/restore.
+func (b *Bypassed) BypassState() (defaultWinner, grants int) {
+	return b.defaultWinner, b.grants
+}
+
+// SetBypassState restores the bypass register state saved by
+// BypassState. It panics when defaultWinner is outside [0, Inputs()).
+func (b *Bypassed) SetBypassState(defaultWinner, grants int) {
+	if defaultWinner < 0 || defaultWinner >= b.Arb.Inputs() {
+		panic(fmt.Sprintf("arbiter: default winner %d out of range for %d-input arbiter", defaultWinner, b.Arb.Inputs()))
+	}
+	b.defaultWinner = defaultWinner
+	b.grants = grants
+}
 
 // Grant arbitrates. In normal operation it defers to the round-robin
 // arbiter. In bypass operation it returns the default winner regardless of

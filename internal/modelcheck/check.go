@@ -1,0 +1,48 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"gonoc/internal/noc"
+)
+
+// CheckMesh runs the standard verification sweep for a w x h mesh: the
+// ring scenario fault free, then under every single link fault and
+// every single router fault, each explored exhaustively under opt. It
+// stops at the first violation. This is what `noctool check` and the
+// CI tier run.
+func CheckMesh(w, h int, retx noc.RetxConfig, opt Options) ([]Result, error) {
+	base := Ring(w, h)
+	base.Retx = retx
+	var out []Result
+	for _, sc := range SingleFaultSweep(base) {
+		res, err := Explore(sc, opt)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		out = append(out, res)
+		if res.Verdict == Deadlocked || res.Verdict == Livelocked {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// FormatResults renders a sweep outcome as a one-line-per-scenario
+// table plus, for a failed scenario, the full counterexample report.
+func FormatResults(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-28s %-9s %8d states %9d transitions  depth %-4d %8s  %s\n",
+			r.Scenario.Name, r.Verdict, r.States, r.Transitions, r.Deepest,
+			r.Elapsed.Round(1000000), r.Detail)
+	}
+	for _, r := range results {
+		if len(r.Counterexample) > 0 {
+			b.WriteString("\n")
+			b.WriteString(FormatCounterexample(r))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,537 @@
+package modelcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gonoc/internal/flit"
+	"gonoc/internal/noc"
+	"gonoc/internal/obs"
+)
+
+// Op is an explorer transition kind.
+type Op uint8
+
+const (
+	// OpTick advances the network one cycle (noc.Network.Step).
+	OpTick Op = iota
+	// OpInject offers the named source's next scheduled packet at the
+	// current cycle, without advancing time — so every same-cycle
+	// subset of injections is reachable as a sequence of OpInjects.
+	OpInject
+	// OpSabotage discards one pending upstream credit at the
+	// scenario's sabotage node (noc.DropPendingCredit).
+	OpSabotage
+)
+
+// Choice is one transition of an execution: an Op plus its argument
+// (the source node for OpInject; unused otherwise).
+type Choice struct {
+	Op  Op
+	Src int
+}
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	switch c.Op {
+	case OpTick:
+		return "tick"
+	case OpInject:
+		return fmt.Sprintf("inject(src=%d)", c.Src)
+	case OpSabotage:
+		return fmt.Sprintf("sabotage(node=%d)", c.Src)
+	default:
+		return fmt.Sprintf("Choice(%d,%d)", c.Op, c.Src)
+	}
+}
+
+// Verdict is the outcome of an exploration.
+type Verdict int
+
+const (
+	// Proved: the reachable state space was exhausted and every
+	// execution delivers all reachable traffic with no deadlock or
+	// livelock. This is a proof for the scenario, not a sample.
+	Proved Verdict = iota
+	// Deadlocked: a reachable quiescent state retains undelivered
+	// or in-flight traffic and ticking no longer changes the state.
+	Deadlocked
+	// Livelocked: a reachable cycle of distinct states exists under
+	// pure ticking among fully-injected, undelivered states — the
+	// network keeps moving but never completes delivery.
+	Livelocked
+	// Exhausted: a resource bound (states, depth or wall-clock
+	// budget) was hit before the space was exhausted. No violation
+	// was found within the bound; nothing is proved beyond it.
+	Exhausted
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Proved:
+		return "PROVED"
+	case Deadlocked:
+		return "DEADLOCK"
+	case Livelocked:
+		return "LIVELOCK"
+	case Exhausted:
+		return "EXHAUSTED"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Options bounds an exploration. The zero value applies defaults.
+type Options struct {
+	// MaxStates caps the number of distinct states (default 1 << 20).
+	MaxStates int
+	// MaxDepth caps the transition depth of any execution explored
+	// (default 4096).
+	MaxDepth int
+	// Budget is a wall-clock bound; 0 means none. The explorer checks
+	// it between frontier expansions, so overshoot is one state's
+	// work.
+	Budget time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 1 << 20
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4096
+	}
+	return o
+}
+
+// Result is the outcome of Explore.
+type Result struct {
+	Scenario Scenario
+	Verdict  Verdict
+	// States is the number of distinct reachable states visited;
+	// Transitions counts explored edges between them.
+	States, Transitions int
+	// Terminals is the number of distinct terminal-success states.
+	Terminals int
+	// Expected is the number of scheduled packets with a reachable
+	// destination — the delivery obligation every execution must meet.
+	Expected int
+	// Deepest is the largest transition depth reached.
+	Deepest int
+	// Counterexample is the choice sequence from the initial state to
+	// the violating state (plus, for livelocks, one full cycle); empty
+	// unless the verdict is Deadlocked or Livelocked. Replay it with
+	// Replay to regenerate the violating execution on a live network.
+	Counterexample []Choice
+	// Detail is a one-line human description of the verdict.
+	Detail string
+	// Elapsed is the exploration wall-clock time.
+	Elapsed time.Duration
+}
+
+// machine binds a network, its delivery ledger and the scenario's
+// injection schedule into the explorer's transition system.
+type machine struct {
+	sc       *Scenario
+	n        *noc.Network
+	led      *ledger
+	schedule [][]Packet
+	injected []uint8
+	// minInjectSrc is the partial-order reduction cursor: same-cycle
+	// injections from distinct sources commute (they touch disjoint
+	// NI queues and per-source sequence counters, and nothing
+	// cycle-order-dependent enters the canonical state), so only the
+	// ascending-source order of every same-cycle injection subset is
+	// explored. A tick resets the cursor.
+	minInjectSrc int
+	sabotaged    bool
+	expected     int
+}
+
+// newMachine builds the scenario's transition system. Observer o may be
+// nil; it is non-nil only for counterexample replay.
+func newMachine(sc *Scenario, o *obs.Observer) (*machine, error) {
+	n, led, err := sc.build(o)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		sc:       sc,
+		n:        n,
+		led:      led,
+		schedule: sc.bySource(),
+		injected: make([]uint8, sc.Width*sc.Height),
+	}
+	// The delivery obligation: every scheduled packet whose endpoints
+	// the static fault set leaves connected. Unreachable packets are
+	// dropped (and counted) at offer time by the network itself.
+	for _, p := range sc.Packets {
+		if m.n.Reachable(p.Src, p.Dst) {
+			m.expected++
+		}
+	}
+	return m, nil
+}
+
+func (m *machine) Close() { m.n.Close() }
+
+// apply executes one transition. Applying a disabled choice is a
+// programming error and panics.
+func (m *machine) apply(c Choice) {
+	switch c.Op {
+	case OpTick:
+		m.n.Step()
+		m.minInjectSrc = 0
+	case OpInject:
+		next := int(m.injected[c.Src])
+		if next >= len(m.schedule[c.Src]) {
+			panic(fmt.Sprintf("modelcheck: inject from exhausted source %d", c.Src))
+		}
+		p := m.schedule[c.Src][next]
+		m.injected[c.Src]++
+		m.minInjectSrc = c.Src
+		m.n.Inject(p.Src, &flit.Packet{Dst: p.Dst, Class: p.Class, Size: p.Size})
+	case OpSabotage:
+		// DropPendingCredit reports false when no credit is latched;
+		// the resulting no-op state then dedups against its parent, so
+		// the choice is effectively re-armed until it lands.
+		if m.n.DropPendingCredit(c.Src) {
+			m.sabotaged = true
+		}
+	default:
+		panic(fmt.Sprintf("modelcheck: unknown op %d", c.Op))
+	}
+}
+
+// choices returns the transitions enabled in the current state. OpTick
+// is always enabled; OpInject per source with scheduled packets left;
+// OpSabotage while armed and unused.
+func (m *machine) choices(buf []Choice) []Choice {
+	buf = buf[:0]
+	buf = append(buf, Choice{Op: OpTick})
+	for src := m.minInjectSrc; src < len(m.schedule); src++ {
+		if int(m.injected[src]) < len(m.schedule[src]) {
+			buf = append(buf, Choice{Op: OpInject, Src: src})
+		}
+	}
+	if m.sc.SabotageNode >= 0 && !m.sabotaged {
+		buf = append(buf, Choice{Op: OpSabotage, Src: m.sc.SabotageNode})
+	}
+	return buf
+}
+
+// fullyInjected reports whether every scheduled packet has been offered.
+func (m *machine) fullyInjected() bool {
+	for src := range m.schedule {
+		if int(m.injected[src]) < len(m.schedule[src]) {
+			return false
+		}
+	}
+	return true
+}
+
+// terminal reports terminal success: everything injected, every
+// reachable packet delivered, and the network fully drained — no
+// in-flight flits and no armed retransmission timers.
+func (m *machine) terminal() bool {
+	return m.fullyInjected() &&
+		len(m.led.delivered) == m.expected &&
+		m.n.Stats().InFlight() == 0 &&
+		m.n.PendingRetx() == 0
+}
+
+// key builds the canonical state identity: the network's cycle-free
+// canonical encoding plus the explorer-side state (injection progress,
+// the delivery ledger, the sabotage flag). Two states with equal keys
+// have identical futures.
+func (m *machine) key(buf []byte) []byte {
+	buf = m.n.AppendCanonical(buf[:0])
+	for _, c := range m.injected {
+		buf = append(buf, c)
+	}
+	keys := make([]uint64, 0, len(m.led.delivered))
+	for k := range m.led.delivered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, k)
+	}
+	if m.sabotaged {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, byte(m.minInjectSrc))
+	return buf
+}
+
+// shadow is the explorer-side state saved beside each network snapshot.
+type shadow struct {
+	injected     []uint8
+	delivered    []uint64
+	minInjectSrc int
+	sabotaged    bool
+}
+
+func (m *machine) saveShadow() shadow {
+	s := shadow{
+		injected:     append([]uint8{}, m.injected...),
+		minInjectSrc: m.minInjectSrc,
+		sabotaged:    m.sabotaged,
+	}
+	for k := range m.led.delivered {
+		s.delivered = append(s.delivered, k)
+	}
+	return s
+}
+
+func (m *machine) restoreShadow(s shadow) {
+	copy(m.injected, s.injected)
+	m.minInjectSrc = s.minInjectSrc
+	m.sabotaged = s.sabotaged
+	clear(m.led.delivered)
+	for _, k := range s.delivered {
+		m.led.delivered[k] = true
+	}
+}
+
+// edge records how a state was first reached, for counterexample
+// reconstruction.
+type edge struct {
+	parent int32
+	choice Choice
+}
+
+// Explore exhaustively enumerates the scenario's reachable state space
+// under opt's bounds and returns the verdict. The proof obligation
+// checked in every reachable state: ticking a fully-injected state must
+// make progress toward (and eventually reach) terminal success — a
+// quiescent self-loop short of it is a deadlock, a longer tick-cycle a
+// livelock. Injection interleavings are the explorer's nondeterminism;
+// the network itself is deterministic per transition.
+func Explore(sc Scenario, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	m, err := newMachine(&sc, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Close()
+
+	res := Result{Scenario: sc, Expected: m.expected}
+	finish := func(v Verdict, detail string) (Result, error) {
+		res.Verdict = v
+		res.Detail = detail
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	type frontierEntry struct {
+		id    int32
+		snap  *noc.Snapshot
+		shad  shadow
+		depth int
+	}
+
+	visited := make(map[string]int32)
+	var edges []edge
+	// tickSucc[id] is id's tick-successor state, recorded for every
+	// expanded state; terminalAt marks terminal-success states, which
+	// are not expanded. The livelock pass walks tick chains through
+	// fully-injected states only (injection counts are monotone, so
+	// any cycle is made of ticks alone).
+	tickSucc := map[int32]int32{}
+	terminalAt := map[int32]bool{}
+	fullAt := map[int32]bool{}
+
+	rootKey := string(m.key(nil))
+	visited[rootKey] = 0
+	edges = append(edges, edge{parent: -1})
+	frontier := []frontierEntry{{id: 0, snap: m.n.Snapshot(), shad: m.saveShadow()}}
+	if m.terminal() {
+		terminalAt[0] = true
+		res.Terminals++
+		frontier = nil
+	}
+	fullAt[0] = m.fullyInjected()
+	res.States = 1
+
+	// trace reconstructs the choice path from the root to state id.
+	trace := func(id int32) []Choice {
+		var out []Choice
+		for id > 0 {
+			out = append(out, edges[id].choice)
+			id = edges[id].parent
+		}
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+
+	var choiceBuf []Choice
+	var keyBuf []byte
+	for len(frontier) > 0 {
+		if opt.Budget > 0 && time.Since(start) > opt.Budget {
+			return finish(Exhausted, fmt.Sprintf("wall-clock budget %v exhausted at %d states", opt.Budget, res.States))
+		}
+		// Pop breadth-first: counterexamples come out minimal-depth.
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.depth >= opt.MaxDepth {
+			return finish(Exhausted, fmt.Sprintf("depth bound %d reached at %d states", opt.MaxDepth, res.States))
+		}
+
+		// The enabled set derives from the shadow alone, so the parent
+		// network state only needs restoring per applied choice.
+		m.restoreShadow(cur.shad)
+		choiceBuf = m.choices(choiceBuf)
+		enabled := append([]Choice{}, choiceBuf...)
+
+		for _, c := range enabled {
+			m.n.Restore(cur.snap)
+			m.restoreShadow(cur.shad)
+			m.apply(c)
+			res.Transitions++
+
+			keyBuf = m.key(keyBuf)
+			k := string(keyBuf)
+			id, seen := visited[k]
+			if !seen {
+				id = int32(len(edges))
+				visited[k] = id
+				edges = append(edges, edge{parent: cur.id, choice: c})
+				res.States++
+				if d := cur.depth + 1; d > res.Deepest {
+					res.Deepest = d
+				}
+				fullAt[id] = m.fullyInjected()
+				if m.terminal() {
+					terminalAt[id] = true
+					res.Terminals++
+				} else {
+					frontier = append(frontier, frontierEntry{
+						id: id, snap: m.n.Snapshot(), shad: m.saveShadow(), depth: cur.depth + 1,
+					})
+				}
+				if res.States > opt.MaxStates {
+					return finish(Exhausted, fmt.Sprintf("state bound %d exceeded", opt.MaxStates))
+				}
+			}
+			if c.Op == OpTick {
+				tickSucc[cur.id] = id
+				// A tick self-loop on a fully-injected, non-terminal
+				// state is the classical deadlock: no transition
+				// remains that could change anything.
+				if id == cur.id && fullAt[cur.id] {
+					res.Counterexample = append(trace(cur.id), Choice{Op: OpTick})
+					return finish(Deadlocked, fmt.Sprintf(
+						"quiescent state with %d/%d packets delivered and %d flits in flight",
+						len(m.led.delivered), m.expected, m.n.Stats().InFlight()))
+				}
+			}
+		}
+	}
+
+	// The space is exhausted. Every fully-injected state's tick chain
+	// must reach a terminal-success state; tick is deterministic, so a
+	// chain that revisits a state has found a livelock cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(edges))
+	for id := range edges {
+		if !fullAt[int32(id)] {
+			continue
+		}
+		var chain []int32
+		at := int32(id)
+		for {
+			if terminalAt[at] || color[at] == black {
+				break
+			}
+			if color[at] == gray {
+				// `at` is on the current chain: a tick cycle. Emit the
+				// path to the cycle entry plus one full lap.
+				lap := 0
+				for i, s := range chain {
+					if s == at {
+						lap = len(chain) - i
+						break
+					}
+				}
+				ce := trace(at)
+				for i := 0; i < lap; i++ {
+					ce = append(ce, Choice{Op: OpTick})
+				}
+				res.Counterexample = ce
+				return finish(Livelocked, fmt.Sprintf("tick cycle of %d states never completes delivery", lap))
+			}
+			color[at] = gray
+			chain = append(chain, at)
+			next, ok := tickSucc[at]
+			if !ok {
+				// Unexpanded (can only happen under a bound that was
+				// already reported); treat as unknown-safe.
+				break
+			}
+			at = next
+		}
+		for _, s := range chain {
+			color[s] = black
+		}
+	}
+
+	return finish(Proved, fmt.Sprintf(
+		"all %d states deliver %d/%d packets; %d terminal states",
+		res.States, m.expected, m.expected, res.Terminals))
+}
+
+// Replay rebuilds the scenario from scratch and applies trace choice by
+// choice, returning the machine's network for inspection. When o is
+// non-nil the network is built instrumented, so the replay captures obs
+// trace events and spans for the counterexample report.
+func Replay(sc Scenario, trace []Choice, o *obs.Observer) (*noc.Network, error) {
+	m, err := newMachine(&sc, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range trace {
+		m.apply(c)
+	}
+	return m.n, nil
+}
+
+// FormatCounterexample renders a failed Result as a human-readable
+// report: the verdict, the choice trace, and — by replaying the trace
+// on an instrumented network — the per-packet hop spans of the stuck
+// execution.
+func FormatCounterexample(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s — %s\n", res.Scenario.Name, res.Verdict, res.Detail)
+	fmt.Fprintf(&b, "counterexample (%d choices):\n", len(res.Counterexample))
+	for i, c := range res.Counterexample {
+		fmt.Fprintf(&b, "  %3d. %s\n", i+1, c)
+	}
+	o := obs.New(1 << 16)
+	n, err := Replay(res.Scenario, res.Counterexample, o)
+	if err != nil {
+		fmt.Fprintf(&b, "replay failed: %v\n", err)
+		return b.String()
+	}
+	defer n.Close()
+	st := n.Stats()
+	fmt.Fprintf(&b, "replayed end state: cycle %d, %d created, %d delivered, %d in flight, %d dropped\n",
+		n.Now(), st.Created(), st.Ejected(), st.InFlight(), st.Dropped())
+	if spans := obs.FormatSpans(n.Spans(), 8); spans != "" {
+		b.WriteString(spans)
+	}
+	return b.String()
+}

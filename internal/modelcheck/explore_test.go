@@ -1,0 +1,261 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"gonoc/internal/noc"
+)
+
+// TestExploreRing2x2FaultFree exhausts the fault-free 2x2 ring and
+// requires a proof: every interleaving of the four injections with
+// ticking delivers all four packets and drains.
+func TestExploreRing2x2FaultFree(t *testing.T) {
+	res, err := Explore(Ring(2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %v, want PROVED: %s", res.Verdict, res.Detail)
+	}
+	if res.Expected != 4 {
+		t.Errorf("expected-delivery obligation %d, want 4", res.Expected)
+	}
+	if res.States < 10 || res.Terminals < 1 {
+		t.Errorf("implausible exploration: %d states, %d terminals", res.States, res.Terminals)
+	}
+	t.Logf("fault-free 2x2: %d states, %d transitions, depth %d in %v",
+		res.States, res.Transitions, res.Deepest, res.Elapsed)
+}
+
+// TestExploreRing2x2SingleFaultSweep proves delivery and deadlock
+// freedom for the 2x2 ring under every single link fault and every
+// single router fault, with NI retransmission armed — the model-checked
+// counterpart of the statistical single-fault delivery suite in
+// internal/noc.
+func TestExploreRing2x2SingleFaultSweep(t *testing.T) {
+	if raceEnabled {
+		t.Skip("retransmission countdown state defeats cross-time merging; too slow under -race (the CI modelcheck tier runs it without the detector)")
+	}
+	base := Ring(2, 2)
+	base.Retx = noc.RetxConfig{Timeout: 64, MaxRetries: 2}
+	for _, sc := range SingleFaultSweep(base) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Explore(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != Proved {
+				t.Fatalf("verdict %v, want PROVED: %s\n%s", res.Verdict, res.Detail, FormatCounterexample(res))
+			}
+			t.Logf("%s: %d states, expected %d, %v", sc.Name, res.States, res.Expected, res.Elapsed)
+		})
+	}
+}
+
+// TestExploreRing2x2Baseline exhausts the 2x2 ring on the unprotected
+// baseline router: the deadlock-freedom and delivery proofs must hold
+// with the FT mechanisms compiled out, not just worked around.
+func TestExploreRing2x2Baseline(t *testing.T) {
+	sc := Ring(2, 2)
+	sc.Name = "ring-2x2-baseline"
+	sc.FaultTolerant = false
+	res, err := Explore(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Proved {
+		t.Fatalf("verdict %v, want PROVED: %s", res.Verdict, res.Detail)
+	}
+	if res.Expected != 4 {
+		t.Errorf("expected-delivery obligation %d, want 4", res.Expected)
+	}
+	t.Logf("baseline 2x2: %d states, depth %d in %v", res.States, res.Deepest, res.Elapsed)
+}
+
+// TestExploreRing2x3 runs a bounded exploration of the 2x3 ring. Six
+// concurrent injections blow the space far past exhaustive reach (tens
+// of millions of states), so this is a bounded model check: within the
+// state cap no deadlock, livelock, or delivery violation may surface.
+// A violation verdict fails regardless of the bound; -short skips it.
+func TestExploreRing2x3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2x3 bounded exploration in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("65k-state bounded exploration is too slow under -race; the plain test run covers it")
+	}
+	res, err := Explore(Ring(2, 3), Options{MaxStates: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Proved && res.Verdict != Exhausted {
+		t.Fatalf("verdict %v within the bound, want PROVED or EXHAUSTED: %s\n%s",
+			res.Verdict, res.Detail, FormatCounterexample(res))
+	}
+	if res.States < 1<<15 {
+		t.Errorf("bounded run explored only %d states; the bound should be reachable", res.States)
+	}
+	t.Logf("bounded 2x3: %v after %d states, %d transitions, depth %d in %v",
+		res.Verdict, res.States, res.Transitions, res.Deepest, res.Elapsed)
+}
+
+// sabotageScenario is a configuration a single lost credit genuinely
+// kills: three packets cross the same link in sequence through depth-1
+// single-VC buffers, so once the explorer discards the credit returned
+// by an earlier packet, the followers can never be granted the link
+// again.
+func sabotageScenario() Scenario {
+	return Scenario{
+		Name:          "sabotage-credit-loss",
+		Width:         2,
+		Height:        2,
+		FaultTolerant: true,
+		VCs:           1,
+		Classes:       1,
+		Depth:         1,
+		SabotageNode:  0,
+		Packets: []Packet{
+			{Src: 0, Dst: 1, Size: 1},
+			{Src: 0, Dst: 1, Size: 1},
+			{Src: 0, Dst: 1, Size: 1},
+		},
+	}
+}
+
+// TestSabotageFindsDeadlock arms the credit-loss sabotage transition —
+// a flow-control corruption the design does not claim to tolerate —
+// and requires the checker to find the resulting deadlock and emit a
+// replayable counterexample. This is the tier's self-test: a checker
+// that cannot find a planted deadlock proves nothing when it reports
+// PROVED elsewhere.
+func TestSabotageFindsDeadlock(t *testing.T) {
+	sc := sabotageScenario()
+	res, err := Explore(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Deadlocked {
+		t.Fatalf("verdict %v, want DEADLOCK (detail: %s)", res.Verdict, res.Detail)
+	}
+	if len(res.Counterexample) == 0 {
+		t.Fatal("deadlock verdict without a counterexample trace")
+	}
+
+	// The counterexample must be genuine: replaying it from scratch
+	// must land in a state that retains traffic and that ticking does
+	// not change.
+	n, err := Replay(sc, res.Counterexample, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Stats().InFlight() == 0 {
+		t.Error("replayed counterexample state holds no stuck traffic")
+	}
+	before := n.StateHash()
+	n.Step()
+	if after := n.StateHash(); after != before {
+		t.Errorf("replayed state is not quiescent: hash %016x -> %016x", before, after)
+	}
+
+	report := FormatCounterexample(res)
+	for _, want := range []string{"DEADLOCK", "sabotage(node=0)", "replayed end state"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("counterexample report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestCheckMeshSweep drives the public sweep entry point the CLI and CI
+// use, on the smallest mesh.
+func TestCheckMeshSweep(t *testing.T) {
+	results, err := CheckMesh(2, 2, noc.RetxConfig{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault free + 4 links + 4 routers.
+	if len(results) != 9 {
+		t.Fatalf("sweep ran %d scenarios, want 9", len(results))
+	}
+	for _, r := range results {
+		if r.Verdict != Proved {
+			t.Errorf("%s: %v (%s)", r.Scenario.Name, r.Verdict, r.Detail)
+		}
+	}
+	if out := FormatResults(results); !strings.Contains(out, "PROVED") {
+		t.Errorf("formatted sweep lacks verdicts:\n%s", out)
+	}
+}
+
+// TestMonteCarloRing3x3 samples the 3x3 ring — beyond exhaustive
+// reach — and requires zero delivery violations with a meaningful
+// Chernoff bound.
+func TestMonteCarloRing3x3(t *testing.T) {
+	walks := 128
+	if testing.Short() {
+		walks = 24
+	}
+	res, err := MonteCarlo(Ring(3, 3), MCOptions{Walks: walks, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d delivery violations in %d random walks; first: %v",
+			res.Violations, res.Walks, res.FirstViolation)
+	}
+	if res.Bound <= 0 || res.Bound >= 1 {
+		t.Errorf("degenerate violation-probability bound %g", res.Bound)
+	}
+	t.Logf("%s", res)
+}
+
+// TestMonteCarloFindsSabotageDeadlock checks the sampled mode can also
+// detect the planted credit-loss failure, reporting the walk that hit
+// it.
+func TestMonteCarloFindsSabotageDeadlock(t *testing.T) {
+	res, err := MonteCarlo(sabotageScenario(), MCOptions{Walks: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("random walks never hit the planted credit-loss deadlock")
+	}
+	if res.FirstViolation == nil {
+		t.Fatal("violation counted but no walk trace recorded")
+	}
+}
+
+// TestExploreBudgetExhaustion checks the resource-bound path: a state
+// cap far below the space's size must yield EXHAUSTED, not a bogus
+// proof.
+func TestExploreBudgetExhaustion(t *testing.T) {
+	res, err := Explore(Ring(2, 2), Options{MaxStates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Exhausted {
+		t.Fatalf("verdict %v under an 8-state cap, want EXHAUSTED", res.Verdict)
+	}
+}
+
+// TestScenarioValidation rejects malformed scenarios instead of
+// exploring garbage.
+func TestScenarioValidation(t *testing.T) {
+	sc := Ring(2, 2)
+	sc.Packets[0].Dst = 99
+	if _, err := Explore(sc, Options{}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	sc = Ring(2, 2)
+	sc.Packets[0].Size = 0
+	if _, err := Explore(sc, Options{}); err == nil {
+		t.Error("zero-size packet accepted")
+	}
+	sc = Ring(2, 2)
+	sc.SabotageNode = 99
+	if _, err := Explore(sc, Options{}); err == nil {
+		t.Error("out-of-range sabotage node accepted")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package modelcheck
+
+// raceEnabled reports whether the race detector is compiled in. The
+// exhaustive retransmission sweep is CPU-bound and gains nothing from
+// the detector (the explorer is single-goroutine), so its test skips
+// under -race; the CI model-checking tier runs it without the detector
+// instead.
+const raceEnabled = false

@@ -32,15 +32,36 @@ func meshLinks(m topology.Mesh) [][2]int {
 
 func newFaultNet(t *testing.T, w, h int, retx noc.RetxConfig, workers int, tr noc.Traffic) *noc.Network {
 	t.Helper()
+	return newTopoFaultNet(t, w, h, "", 0, retx, workers, tr)
+}
+
+// newTopoFaultNet is newFaultNet with an explicit topology family, for
+// running the fault suites on cmesh as well as mesh. topo "" means
+// mesh; conc is the cmesh concentration.
+func newTopoFaultNet(t *testing.T, w, h int, topo string, conc int, retx noc.RetxConfig, workers int, tr noc.Traffic) *noc.Network {
+	t.Helper()
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
 	n, err := noc.New(noc.Config{
-		Width: w, Height: h, Router: rc, Warmup: 0, Workers: workers, Retx: retx,
+		Width: w, Height: h, Topo: topo, Conc: conc,
+		Router: rc, Warmup: 0, Workers: workers, Retx: retx,
 	}, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return n
+}
+
+// faultTopologies enumerates the topology families the single-fault
+// suites must cover: the plain mesh and the concentrated mesh, whose
+// router graph routes faults over the same two-layer tables.
+var faultTopologies = []struct {
+	name string
+	topo string
+	conc int
+}{
+	{name: "mesh", topo: "", conc: 0},
+	{name: "cmesh", topo: "cmesh", conc: 2},
 }
 
 // TestExhaustiveSingleFaultReachability kills every link and every
@@ -49,50 +70,52 @@ func newFaultNet(t *testing.T, w, h int, retx noc.RetxConfig, workers int, tr no
 // connectivity a single fault leaves physically intact.
 func TestExhaustiveSingleFaultReachability(t *testing.T) {
 	for _, dim := range [][2]int{{4, 4}, {2, 2}, {4, 2}} {
-		w, h := dim[0], dim[1]
-		t.Run(fmt.Sprintf("%dx%d", w, h), func(t *testing.T) {
-			n := newFaultNet(t, w, h, noc.RetxConfig{}, 1, nil)
-			defer n.Close()
-			m := n.Mesh()
-			checkAllPairs := func(desc string, dead int) {
-				for src := 0; src < m.Nodes(); src++ {
-					for dst := 0; dst < m.Nodes(); dst++ {
-						if src == dead || dst == dead {
-							continue
-						}
-						if !n.Reachable(src, dst) {
-							t.Errorf("%s: %d -> %d unreachable", desc, src, dst)
+		for _, tc := range faultTopologies {
+			w, h, tc := dim[0], dim[1], tc
+			t.Run(fmt.Sprintf("%s-%dx%d", tc.name, w, h), func(t *testing.T) {
+				n := newTopoFaultNet(t, w, h, tc.topo, tc.conc, noc.RetxConfig{}, 1, nil)
+				defer n.Close()
+				m := n.Mesh()
+				checkAllPairs := func(desc string, dead int) {
+					for src := 0; src < m.Nodes(); src++ {
+						for dst := 0; dst < m.Nodes(); dst++ {
+							if src == dead || dst == dead {
+								continue
+							}
+							if !n.Reachable(src, dst) {
+								t.Errorf("%s: %d -> %d unreachable", desc, src, dst)
+							}
 						}
 					}
 				}
-			}
-			for _, lk := range meshLinks(m) {
-				id, p := lk[0], topology.Port(lk[1])
-				if err := n.SetLinkFault(id, p, true); err != nil {
-					t.Fatal(err)
-				}
-				checkAllPairs(fmt.Sprintf("link %d:%v dead", id, p), -1)
-				if err := n.SetLinkFault(id, p, false); err != nil {
-					t.Fatal(err)
-				}
-			}
-			for id := 0; id < m.Nodes(); id++ {
-				if err := n.SetRouterFault(id, true); err != nil {
-					t.Fatal(err)
-				}
-				checkAllPairs(fmt.Sprintf("router %d dead", id), id)
-				for other := 0; other < m.Nodes(); other++ {
-					if other != id && n.Reachable(other, id) {
-						t.Errorf("router %d dead: %d -> %d reported reachable", id, other, id)
+				for _, lk := range meshLinks(m) {
+					id, p := lk[0], topology.Port(lk[1])
+					if err := n.SetLinkFault(id, p, true); err != nil {
+						t.Fatal(err)
+					}
+					checkAllPairs(fmt.Sprintf("link %d:%v dead", id, p), -1)
+					if err := n.SetLinkFault(id, p, false); err != nil {
+						t.Fatal(err)
 					}
 				}
-				if err := n.SetRouterFault(id, false); err != nil {
-					t.Fatal(err)
+				for id := 0; id < m.Nodes(); id++ {
+					if err := n.SetRouterFault(id, true); err != nil {
+						t.Fatal(err)
+					}
+					checkAllPairs(fmt.Sprintf("router %d dead", id), id)
+					for other := 0; other < m.Nodes(); other++ {
+						if other != id && n.Reachable(other, id) {
+							t.Errorf("router %d dead: %d -> %d reported reachable", id, other, id)
+						}
+					}
+					if err := n.SetRouterFault(id, false); err != nil {
+						t.Fatal(err)
+					}
 				}
-			}
-			// All faults repaired: back on the XY fast path.
-			checkAllPairs("fault-free", -1)
-		})
+				// All faults repaired: back on the XY fast path.
+				checkAllPairs("fault-free", -1)
+			})
+		}
 	}
 }
 
@@ -146,42 +169,48 @@ func checkFullDelivery(t *testing.T, n *noc.Network, desc string) {
 	}
 }
 
-// TestSingleLinkFaultFullDelivery kills each link of a 4x4 mesh mid-run
-// in turn. Rerouting plus NI retransmission must deliver 100% of the
-// offered packets: the copies lost at the dying link are retransmitted
-// over surviving paths, and any duplicates are suppressed at the sinks.
+// TestSingleLinkFaultFullDelivery kills each link of a 4x4 router grid
+// mid-run in turn, on the plain mesh and on the concentrated mesh.
+// Rerouting plus NI retransmission must deliver 100% of the offered
+// packets: the copies lost at the dying link are retransmitted over
+// surviving paths, and any duplicates are suppressed at the sinks.
 func TestSingleLinkFaultFullDelivery(t *testing.T) {
 	const (
 		faultAt = 300
 		stop    = 700
 	)
 	retx := noc.RetxConfig{Timeout: 250, MaxRetries: 5}
-	links := meshLinks(topology.NewMesh(4, 4))
-	if testing.Short() {
-		links = links[:4]
-	}
-	for _, lk := range links {
-		id, p := lk[0], topology.Port(lk[1])
-		desc := fmt.Sprintf("link %d:%v", id, p)
-		src := traffic.NewSynthetic(16, 0.04, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), uint64(37+id))
-		src.StopAt(stop)
-		n := newFaultNet(t, 4, 4, retx, 1, src)
-		n.AddHook(func(c sim.Cycle) {
-			if c == faultAt {
-				if err := n.SetLinkFault(id, p, true); err != nil {
-					t.Errorf("%s: %v", desc, err)
+	for _, tc := range faultTopologies {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			links := meshLinks(topology.NewMesh(4, 4))
+			if testing.Short() {
+				links = links[:4]
+			}
+			for _, lk := range links {
+				id, p := lk[0], topology.Port(lk[1])
+				desc := fmt.Sprintf("%s link %d:%v", tc.name, id, p)
+				src := traffic.NewSynthetic(16, 0.04, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), uint64(37+id))
+				src.StopAt(stop)
+				n := newTopoFaultNet(t, 4, 4, tc.topo, tc.conc, retx, 1, src)
+				n.AddHook(func(c sim.Cycle) {
+					if c == faultAt {
+						if err := n.SetLinkFault(id, p, true); err != nil {
+							t.Errorf("%s: %v", desc, err)
+						}
+					}
+				})
+				n.Run(stop)
+				if !n.Drain(stop + 60000) {
+					t.Fatalf("%s: did not drain: %d in flight", desc, n.Stats().InFlight())
 				}
+				if err := n.CheckInvariants(); err != nil {
+					t.Fatalf("%s: %v", desc, err)
+				}
+				checkFullDelivery(t, n, desc)
+				n.Close()
 			}
 		})
-		n.Run(stop)
-		if !n.Drain(stop + 60000) {
-			t.Fatalf("%s: did not drain: %d in flight", desc, n.Stats().InFlight())
-		}
-		if err := n.CheckInvariants(); err != nil {
-			t.Fatalf("%s: %v", desc, err)
-		}
-		checkFullDelivery(t, n, desc)
-		n.Close()
 	}
 }
 
@@ -210,41 +239,47 @@ func (a *avoidNode) OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet {
 	return a.inner.OnEject(p, c)
 }
 
-// TestSingleRouterFaultFullDelivery kills each router of a 4x4 mesh
-// mid-run in turn, with a workload that never sources or sinks at the
-// dying node. Packets transiting the dead router are lost and must be
-// recovered by retransmission over detour paths: 100% delivery.
+// TestSingleRouterFaultFullDelivery kills each router of a 4x4 router
+// grid mid-run in turn — on the plain mesh and the concentrated mesh —
+// with a workload that never sources or sinks at the dying node.
+// Packets transiting the dead router are lost and must be recovered by
+// retransmission over detour paths: 100% delivery.
 func TestSingleRouterFaultFullDelivery(t *testing.T) {
 	const (
 		faultAt = 300
 		stop    = 700
 	)
 	retx := noc.RetxConfig{Timeout: 250, MaxRetries: 5}
-	ids := []int{0, 1, 5, 6, 10, 15} // corners, edges and interior
-	if testing.Short() {
-		ids = ids[:2]
-	}
-	for _, id := range ids {
-		desc := fmt.Sprintf("router %d", id)
-		inner := traffic.NewSynthetic(16, 0.04, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), uint64(91+id))
-		inner.StopAt(stop)
-		n := newFaultNet(t, 4, 4, retx, 1, &avoidNode{inner: inner, node: id})
-		n.AddHook(func(c sim.Cycle) {
-			if c == faultAt {
-				if err := n.SetRouterFault(id, true); err != nil {
-					t.Errorf("%s: %v", desc, err)
+	for _, tc := range faultTopologies {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ids := []int{0, 1, 5, 6, 10, 15} // corners, edges and interior
+			if testing.Short() {
+				ids = ids[:2]
+			}
+			for _, id := range ids {
+				desc := fmt.Sprintf("%s router %d", tc.name, id)
+				inner := traffic.NewSynthetic(16, 0.04, traffic.Uniform(16), traffic.Bimodal(1, 5, 0.6), uint64(91+id))
+				inner.StopAt(stop)
+				n := newTopoFaultNet(t, 4, 4, tc.topo, tc.conc, retx, 1, &avoidNode{inner: inner, node: id})
+				n.AddHook(func(c sim.Cycle) {
+					if c == faultAt {
+						if err := n.SetRouterFault(id, true); err != nil {
+							t.Errorf("%s: %v", desc, err)
+						}
+					}
+				})
+				n.Run(stop)
+				if !n.Drain(stop + 60000) {
+					t.Fatalf("%s: did not drain: %d in flight", desc, n.Stats().InFlight())
 				}
+				if err := n.CheckInvariants(); err != nil {
+					t.Fatalf("%s: %v", desc, err)
+				}
+				checkFullDelivery(t, n, desc)
+				n.Close()
 			}
 		})
-		n.Run(stop)
-		if !n.Drain(stop + 60000) {
-			t.Fatalf("%s: did not drain: %d in flight", desc, n.Stats().InFlight())
-		}
-		if err := n.CheckInvariants(); err != nil {
-			t.Fatalf("%s: %v", desc, err)
-		}
-		checkFullDelivery(t, n, desc)
-		n.Close()
 	}
 }
 

@@ -1,0 +1,478 @@
+package noc
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"gonoc/internal/core"
+	"gonoc/internal/flit"
+	"gonoc/internal/router"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+)
+
+// Canonical-encoding helpers, mirroring internal/core's.
+func appI(b []byte, v int) []byte    { return binary.AppendVarint(b, int64(v)) }
+func appU(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appB(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Deep snapshot/restore of a Network at a step boundary, plus a
+// canonical byte encoding of the behaviour-relevant state. These are
+// the enablers for the model-checking tier (internal/modelcheck), which
+// snapshots a state, explores one successor, and rolls back — and the
+// per-network half of the checkpoint/restore groundwork the ROADMAP's
+// campaign-server item needs.
+//
+// Snapshot and Restore must be called between Steps (never from a
+// hook). At that boundary the router-internal I/O latches are empty —
+// inputs were drained at the top of Tick, outputs were taken by the
+// commit phase — and all in-flight traffic lives in the network's
+// inbound latches (inFlits/inCredits/inNICredits), which the snapshot
+// captures.
+
+// Snapshot is a deep, self-contained copy of a Network's mutable state.
+// It holds no aliases into the live network: packets and flits are
+// cloned with identity preserved (all flits of one packet share one
+// cloned *Packet), so a snapshot can be restored any number of times.
+type Snapshot struct {
+	cycle  sim.Cycle
+	nextID uint64
+
+	routers []*core.RouterState
+	nis     []niState
+
+	inFlits     [][]router.InFlit
+	inCredits   [][]core.CreditIn
+	inNICredits [][]router.Credit
+
+	linkFlits [][]uint64
+
+	linkDead        [][]bool
+	routerDead      []bool
+	midFlight       [][][]bool
+	linkDrop        [][][]bool
+	linkDropsActive int
+
+	seqNext   []uint64
+	retx      [][]retxEntry
+	delivered []map[int]*seqWindow
+
+	stats *stats.Collector
+}
+
+// niState is the saved form of one network interface.
+type niState struct {
+	queues    [][]*flit.Packet
+	active    [][]*flit.Flit
+	activeVCs int
+	vcBusy    []bool
+	credits   []int
+	sendScan  int
+}
+
+// cloner deep-copies flits and packets with identity preservation: every
+// distinct live *Packet maps to exactly one clone, so the flits of a
+// packet split between an NI and router buffers still share their
+// packet after a round trip.
+type cloner struct {
+	pkts  map[*flit.Packet]*flit.Packet
+	flits map[*flit.Flit]*flit.Flit
+}
+
+func newCloner() *cloner {
+	return &cloner{pkts: map[*flit.Packet]*flit.Packet{}, flits: map[*flit.Flit]*flit.Flit{}}
+}
+
+func (c *cloner) pkt(p *flit.Packet) *flit.Packet {
+	if p == nil {
+		return nil
+	}
+	if cp, ok := c.pkts[p]; ok {
+		return cp
+	}
+	cp := *p
+	c.pkts[p] = &cp
+	return &cp
+}
+
+func (c *cloner) flit(f *flit.Flit) *flit.Flit {
+	if f == nil {
+		return nil
+	}
+	if cf, ok := c.flits[f]; ok {
+		return cf
+	}
+	cf := *f
+	cf.Pkt = c.pkt(f.Pkt)
+	c.flits[f] = &cf
+	return &cf
+}
+
+// Snapshot captures the network's complete mutable state. The receiver
+// is unchanged; the returned snapshot shares nothing with it.
+func (n *Network) Snapshot() *Snapshot {
+	cl := newCloner()
+	nodes := len(n.routers)
+	s := &Snapshot{
+		cycle:  n.cycle,
+		nextID: n.nextID,
+
+		routers: make([]*core.RouterState, nodes),
+		nis:     make([]niState, nodes),
+
+		inFlits:     make([][]router.InFlit, nodes),
+		inCredits:   make([][]core.CreditIn, nodes),
+		inNICredits: make([][]router.Credit, nodes),
+
+		linkFlits: make([][]uint64, nodes),
+
+		linkDead:        make([][]bool, nodes),
+		routerDead:      append([]bool(nil), n.routerDead...),
+		midFlight:       make([][][]bool, nodes),
+		linkDrop:        make([][][]bool, nodes),
+		linkDropsActive: n.linkDropsActive,
+
+		seqNext:   append([]uint64(nil), n.seqNext...),
+		retx:      make([][]retxEntry, nodes),
+		delivered: make([]map[int]*seqWindow, nodes),
+
+		stats: n.stats.Clone(),
+	}
+	for id := 0; id < nodes; id++ {
+		s.routers[id] = n.routers[id].SaveState(cl.flit)
+		s.nis[id] = saveNI(n.nis[id], cl)
+
+		fl := make([]router.InFlit, len(n.inFlits[id]))
+		for i, w := range n.inFlits[id] {
+			fl[i] = router.InFlit{In: w.In, VC: w.VC, F: cl.flit(w.F)}
+		}
+		s.inFlits[id] = fl
+		s.inCredits[id] = append([]core.CreditIn(nil), n.inCredits[id]...)
+		s.inNICredits[id] = append([]router.Credit(nil), n.inNICredits[id]...)
+
+		s.linkFlits[id] = append([]uint64(nil), n.linkFlits[id]...)
+		s.linkDead[id] = append([]bool(nil), n.linkDead[id]...)
+		s.midFlight[id] = copyBoolGrid(n.midFlight[id])
+		s.linkDrop[id] = copyBoolGrid(n.linkDrop[id])
+		s.retx[id] = append([]retxEntry(nil), n.retx[id]...)
+		s.delivered[id] = copyWindows(n.delivered[id])
+	}
+	return s
+}
+
+func copyBoolGrid(g [][]bool) [][]bool {
+	out := make([][]bool, len(g))
+	for i, row := range g {
+		out[i] = append([]bool(nil), row...)
+	}
+	return out
+}
+
+func copyWindows(m map[int]*seqWindow) map[int]*seqWindow {
+	if m == nil {
+		return nil
+	}
+	out := make(map[int]*seqWindow, len(m))
+	//nocvet:ignore determinism map-to-map copy; result order-independent
+	for src, w := range m {
+		seen := make(map[uint64]bool, len(w.seen))
+		//nocvet:ignore determinism map-to-map copy; result order-independent
+		for k, v := range w.seen {
+			seen[k] = v
+		}
+		out[src] = &seqWindow{floor: w.floor, seen: seen}
+	}
+	return out
+}
+
+func saveNI(ni *NI, cl *cloner) niState {
+	s := niState{
+		queues:    make([][]*flit.Packet, len(ni.queues)),
+		active:    make([][]*flit.Flit, len(ni.active)),
+		activeVCs: ni.activeVCs,
+		vcBusy:    append([]bool(nil), ni.vcBusy...),
+		credits:   append([]int(nil), ni.credits...),
+		sendScan:  ni.sendScan,
+	}
+	for cls, q := range ni.queues {
+		qs := make([]*flit.Packet, len(q))
+		for i, p := range q {
+			qs[i] = cl.pkt(p)
+		}
+		s.queues[cls] = qs
+	}
+	for v, fl := range ni.active {
+		if len(fl) == 0 {
+			continue
+		}
+		fs := make([]*flit.Flit, len(fl))
+		for i, f := range fl {
+			fs[i] = cl.flit(f)
+		}
+		s.active[v] = fs
+	}
+	return s
+}
+
+// Restore rewinds the network to a state captured by Snapshot. The
+// snapshot is re-cloned, not consumed: the same snapshot can be
+// restored again. Restore must be called at a step boundary, on the
+// same network (same configuration and topology) the snapshot came
+// from. Fault-aware routing tables are rebuilt from the restored
+// link/router fault sets.
+func (n *Network) Restore(s *Snapshot) {
+	// The fault-aware routing tables are a pure function of the link and
+	// router fault sets, so the rebuild at the end is only needed when
+	// the snapshot's fault sets differ from the network's current ones.
+	// The model checker restores thousands of same-fault-set snapshots
+	// per scenario; skipping the rebuild there is a large win.
+	faultsChanged := false
+	for id := range n.routerDead {
+		if n.routerDead[id] != s.routerDead[id] {
+			faultsChanged = true
+			break
+		}
+	}
+	if !faultsChanged {
+	links:
+		for id := range n.linkDead {
+			for p := range n.linkDead[id] {
+				if n.linkDead[id][p] != s.linkDead[id][p] {
+					faultsChanged = true
+					break links
+				}
+			}
+		}
+	}
+
+	cl := newCloner()
+	n.cycle = s.cycle
+	n.nextID = s.nextID
+	n.linkDropsActive = s.linkDropsActive
+	copy(n.routerDead, s.routerDead)
+	copy(n.seqNext, s.seqNext)
+	n.stats = s.stats.Clone()
+
+	for id := range n.routers {
+		n.routers[id].RestoreState(s.routers[id], cl.flit)
+		restoreNI(n.nis[id], &s.nis[id], cl)
+
+		n.inFlits[id] = n.inFlits[id][:0]
+		for _, w := range s.inFlits[id] {
+			n.inFlits[id] = append(n.inFlits[id],
+				router.InFlit{In: w.In, VC: w.VC, F: cl.flit(w.F)})
+		}
+		n.inCredits[id] = append(n.inCredits[id][:0], s.inCredits[id]...)
+		n.inNICredits[id] = append(n.inNICredits[id][:0], s.inNICredits[id]...)
+
+		copy(n.linkFlits[id], s.linkFlits[id])
+		copy(n.linkDead[id], s.linkDead[id])
+		for p := range n.midFlight[id] {
+			copy(n.midFlight[id][p], s.midFlight[id][p])
+			copy(n.linkDrop[id][p], s.linkDrop[id][p])
+		}
+		n.retx[id] = append(n.retx[id][:0], s.retx[id]...)
+		n.delivered[id] = copyWindows(s.delivered[id])
+
+		// Staged compute outputs alias router buffers that RestoreState
+		// just reset; drop the stale views.
+		n.stagedFlits[id] = nil
+		n.stagedCredits[id] = nil
+	}
+	if n.hasRoutesMesh && faultsChanged {
+		// Rebuild (or drop) the fault-aware tables from the restored
+		// fault sets. A torus never has network faults (SetLinkFault
+		// rejects them) and must keep its dateline RouteFn, so this is
+		// gated on the mesh router graph being present.
+		if err := n.rebuildRoutes(); err != nil {
+			// The snapshot came from a network that already routed this
+			// fault set, so rebuilding it cannot fail.
+			panic(err)
+		}
+	}
+}
+
+func restoreNI(ni *NI, s *niState, cl *cloner) {
+	ni.activeVCs = s.activeVCs
+	ni.sendScan = s.sendScan
+	copy(ni.vcBusy, s.vcBusy)
+	copy(ni.credits, s.credits)
+	for cls := range ni.queues {
+		// Fresh backing arrays: the live queues are re-sliced by
+		// Offer/tick, and restore is not a hot path.
+		q := make([]*flit.Packet, 0, len(s.queues[cls]))
+		for _, p := range s.queues[cls] {
+			q = append(q, cl.pkt(p))
+		}
+		ni.queues[cls] = q
+	}
+	for v := range ni.active {
+		if len(s.active[v]) == 0 {
+			ni.active[v] = nil
+			continue
+		}
+		fs := make([]*flit.Flit, 0, len(s.active[v]))
+		for _, f := range s.active[v] {
+			fs = append(fs, cl.flit(f))
+		}
+		ni.active[v] = fs
+	}
+}
+
+// PendingRetx returns the number of unacknowledged packets tracked by
+// source retransmission buffers across the network.
+func (n *Network) PendingRetx() int { return n.pendingRetx() }
+
+// AppendCanonical appends a canonical encoding of the network's
+// behaviour-relevant state to b and returns the extended slice. Two
+// network states with equal canonical encodings (under the same
+// configuration) are bisimilar: every future choice sequence produces
+// the same architectural behaviour. Excluded, because they never feed
+// back into behaviour: the cycle counter (all timers are encoded
+// relative to it), packet IDs and timestamps, the statistics collector,
+// and link-utilization counters.
+func (n *Network) AppendCanonical(b []byte) []byte {
+	for id, r := range n.routers {
+		b = r.AppendCanonical(b)
+		b = n.appendCanonicalNI(b, id)
+
+		b = appI(b, len(n.inFlits[id]))
+		for _, w := range n.inFlits[id] {
+			b = appI(b, int(w.In))
+			b = appI(b, w.VC)
+			b = core.AppendCanonicalFlit(b, w.F)
+		}
+		b = appI(b, len(n.inCredits[id]))
+		for _, cr := range n.inCredits[id] {
+			b = appI(b, int(cr.Out))
+			b = appI(b, cr.VC)
+			b = appB(b, cr.VCFree)
+		}
+		b = appI(b, len(n.inNICredits[id]))
+		for _, cr := range n.inNICredits[id] {
+			b = appI(b, int(cr.In))
+			b = appI(b, cr.VC)
+			b = appB(b, cr.VCFree)
+		}
+
+		b = appendBools(b, n.linkDead[id])
+		b = appB(b, n.routerDead[id])
+		for p := range n.midFlight[id] {
+			b = appendBools(b, n.midFlight[id][p])
+			b = appendBools(b, n.linkDrop[id][p])
+		}
+
+		b = appU(b, n.seqNext[id])
+		b = appI(b, len(n.retx[id]))
+		for _, e := range n.retx[id] {
+			b = appU(b, e.seq)
+			b = appI(b, e.dst)
+			b = append(b, byte(e.class))
+			b = appI(b, e.size)
+			// Timers relative to the current cycle, so states reached at
+			// different absolute cycles can still coincide.
+			b = appU(b, uint64(e.deadline-n.cycle))
+			b = appU(b, uint64(e.interval))
+			b = appI(b, e.retries)
+		}
+		b = n.appendCanonicalWindows(b, n.delivered[id])
+	}
+	return b
+}
+
+func (n *Network) appendCanonicalNI(b []byte, id int) []byte {
+	ni := n.nis[id]
+	for _, q := range ni.queues {
+		b = appI(b, len(q))
+		for _, p := range q {
+			b = appendCanonicalPacket(b, p)
+		}
+	}
+	for _, fl := range ni.active {
+		b = appI(b, len(fl))
+		for _, f := range fl {
+			b = core.AppendCanonicalFlit(b, f)
+		}
+	}
+	b = appendBools(b, ni.vcBusy)
+	for _, c := range ni.credits {
+		b = appI(b, c)
+	}
+	b = appI(b, ni.sendScan)
+	return b
+}
+
+func (n *Network) appendCanonicalWindows(b []byte, m map[int]*seqWindow) []byte {
+	b = appI(b, len(m))
+	srcs := make([]int, 0, len(m))
+	//nocvet:ignore determinism collected keys are sorted before use
+	for src := range m {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	for _, src := range srcs {
+		w := m[src]
+		b = appI(b, src)
+		b = appU(b, w.floor)
+		seen := make([]uint64, 0, len(w.seen))
+		//nocvet:ignore determinism collected keys are sorted before use
+		for s := range w.seen {
+			seen = append(seen, s)
+		}
+		sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+		b = appI(b, len(seen))
+		for _, s := range seen {
+			b = appU(b, s)
+		}
+	}
+	return b
+}
+
+func appendCanonicalPacket(b []byte, p *flit.Packet) []byte {
+	b = appI(b, p.Src)
+	b = appI(b, p.Dst)
+	b = append(b, byte(p.Class))
+	b = appI(b, p.Size)
+	b = appU(b, p.Seq)
+	return b
+}
+
+func appendBools(b []byte, vs []bool) []byte {
+	for _, v := range vs {
+		b = appB(b, v)
+	}
+	return b
+}
+
+// StateHash returns a 64-bit FNV-1a hash of the canonical state, for
+// display and logging. The model checker keys its visited set on the
+// full canonical bytes, not this hash, so hash collisions cannot mask
+// distinct states.
+func (n *Network) StateHash() uint64 {
+	h := fnv.New64a()
+	h.Write(n.AppendCanonical(nil))
+	return h.Sum64()
+}
+
+// DropPendingCredit removes one credit from router id's inbound credit
+// latch and reports whether there was one to remove. It exists to
+// sabotage the simulator on purpose: losing a credit permanently
+// underfunds one VC's flow control, which eventually wedges the
+// pipeline — exactly the class of bug the model checker's deadlock
+// detector must catch. Used by `noctool check -sabotage` and the
+// modelcheck counterexample tests; never called by simulation code.
+func (n *Network) DropPendingCredit(id int) bool {
+	lat := n.inCredits[id]
+	if len(lat) == 0 {
+		return false
+	}
+	n.inCredits[id] = lat[:len(lat)-1]
+	return true
+}

@@ -1,0 +1,34 @@
+package stats
+
+// Clone returns an independent copy of the histogram. The bounds slice
+// is shared (it is read-only by contract); the counts buffer is shared
+// copy-on-write — both histograms are marked shared and the next write
+// to either copies first — so cloning is O(1), which the model
+// checker's snapshot-per-state exploration depends on. Clone of a nil
+// histogram returns nil, matching the collector's lazy histogram
+// allocation.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	h.shared = true
+	c := *h
+	return &c
+}
+
+// Clone returns an independent deep copy of the collector, for
+// checkpoint/restore: the model checker snapshots a network mid-run and
+// must be able to roll its statistics back along with the rest of the
+// state. Clone of a nil collector returns nil.
+func (c *Collector) Clone() *Collector {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	cp.lat = c.lat.Clone()
+	cp.net = c.net.Clone()
+	for i := range c.classLat {
+		cp.classLat[i] = c.classLat[i].Clone()
+	}
+	return &cp
+}

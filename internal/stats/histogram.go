@@ -26,6 +26,17 @@ type Histogram struct {
 	sum    uint64 // sum of observed values, in cycles
 	min    sim.Cycle
 	max    sim.Cycle
+	// shared marks counts as aliased by a Clone: the next write must
+	// copy first. Lets checkpoint/restore clone histograms in O(1).
+	shared bool
+}
+
+// own unshares the counts buffer before a write.
+func (h *Histogram) own() {
+	if h.shared {
+		h.counts = append([]uint64(nil), h.counts...)
+		h.shared = false
+	}
 }
 
 // maxExactLatency is the largest latency with a one-cycle-wide bucket;
@@ -63,6 +74,7 @@ func NewHistogram(bounds []sim.Cycle) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v sim.Cycle) {
+	h.own()
 	h.counts[h.bucket(v)]++
 	if h.total == 0 || v < h.min {
 		h.min = v
@@ -173,6 +185,7 @@ func (h *Histogram) Merge(o *Histogram) error {
 			}
 		}
 	}
+	h.own()
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}

@@ -163,6 +163,22 @@ func (v *VC) Pop() *flit.Flit {
 	return f
 }
 
+// Flits returns the buffered flits in FIFO order. The returned slice
+// aliases the VC's buffer: callers (checkpoint/restore, the model
+// checker's canonical encoder) must treat it as read-only and must not
+// hold it across a Push/Pop.
+func (v *VC) Flits() []*flit.Flit { return v.buf }
+
+// SetFlits replaces the buffer contents with fs (front first), for
+// checkpoint/restore. It panics when fs exceeds the buffer depth. The
+// slice is copied; the caller keeps ownership of fs.
+func (v *VC) SetFlits(fs []*flit.Flit) {
+	if len(fs) > v.depth {
+		panic(fmt.Sprintf("vc: restoring %d flits into depth-%d VC %d", len(fs), v.depth, v.Index))
+	}
+	v.buf = append(v.buf[:0], fs...)
+}
+
 // ResetPacketState clears the allocation fields after a tail flit departs,
 // returning the VC to Idle. Buffered flits (of a next packet, under
 // non-atomic reallocation) are not touched; gonoc uses atomic reallocation
