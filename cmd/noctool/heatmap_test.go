@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gonoc/internal/obs"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed. The reader drains concurrently: heatmap JSON documents exceed
+// the pipe buffer, so reading after fn returns would deadlock.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+// TestRunHeatmapFaultedBottleneck is the headline acceptance check for
+// the congestion tier: on an 8x8 mesh with router 27's East link dead,
+// the bottleneck report must name the links adjacent to the detour —
+// traffic that would have used 27->28 now queues at 27's other ports and
+// re-enters eastward around the hole, showing up as route-blocked
+// stalls there.
+func TestRunHeatmapFaultedBottleneck(t *testing.T) {
+	scenario := []string{
+		"-width", "8", "-height", "8", "-cycles", "20000", "-warmup", "0",
+		"-rate", "0.01", "-inject", "27:link:e",
+	}
+	out, err := captureStdout(t, func() error {
+		return runHeatmap(append([]string{"-top", "8"}, scenario...))
+	})
+	if err != nil {
+		t.Fatalf("heatmap: %v", err)
+	}
+	for _, want := range []string{
+		"outbound E links",
+		"top 8 bottleneck links",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap output missing %q; got:\n%s", want, out)
+		}
+	}
+	// The dead link's neighbors carry the detour: packets that would have
+	// crossed 27->28 leave router 27 westward around the hole, and 28's
+	// East output carries the opposite direction's detour. Both show up
+	// with route-blocked stalls the healthy links never have.
+	table := out[strings.Index(out, "top 8 bottleneck links"):]
+	for _, link := range []string{"r27(3,3) >W", "r28(4,3) >E"} {
+		if !strings.Contains(table, link) {
+			t.Errorf("bottleneck report does not name detour link %s:\n%s", link, table)
+		}
+	}
+
+	// JSON mode on the same scenario: the full document must show
+	// route-blocked stalls concentrated at the dead link's router.
+	out, err = captureStdout(t, func() error {
+		return runHeatmap(append([]string{"-top", "0", "-json"}, scenario...))
+	})
+	if err != nil {
+		t.Fatalf("heatmap -json: %v", err)
+	}
+	var doc heatmapJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("heatmap -json not valid JSON: %v", err)
+	}
+	if doc.Cycle != 20000 || doc.BucketCycles != uint64(obs.DefaultBucketCycles) {
+		t.Fatalf("doc header = cycle %d bucket %d", doc.Cycle, doc.BucketCycles)
+	}
+	var routeStallsAt27, routeStallsTotal uint64
+	for _, l := range doc.Links {
+		rb := l.Stalls[obs.StallRouteBlocked]
+		routeStallsTotal += rb
+		if l.Node == 27 {
+			routeStallsAt27 += rb
+		}
+	}
+	if routeStallsTotal == 0 {
+		t.Fatal("dead link produced no route-blocked stalls anywhere")
+	}
+	if routeStallsAt27 == 0 {
+		t.Fatalf("no route-blocked stalls at the faulted router (total %d elsewhere)", routeStallsTotal)
+	}
+}
+
+// TestRunHeatmapFaultFreeHasNoRouteStalls pins the classifier's negative
+// space: with every link healthy, congestion is credit/arbitration only.
+func TestRunHeatmapFaultFreeHasNoRouteStalls(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runHeatmap([]string{
+			"-width", "4", "-height", "4", "-cycles", "5000", "-warmup", "0",
+			"-rate", "0.05", "-top", "0", "-json",
+		})
+	})
+	if err != nil {
+		t.Fatalf("heatmap: %v", err)
+	}
+	var doc heatmapJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var flits, route, drain uint64
+	for _, l := range doc.Links {
+		flits += l.Flits
+		route += l.Stalls[obs.StallRouteBlocked]
+		drain += l.Stalls[obs.StallFaultDrain]
+	}
+	if flits == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if route != 0 || drain != 0 {
+		t.Fatalf("fault-free run shows %d route-blocked and %d fault-drain stalls", route, drain)
+	}
+}
+
+// TestRunFlightrecTripAndReplay drives the flightrec command end to end:
+// a wedged baseline router trips the watchdog, the dump lands in the
+// JSON Lines file, and -replay formats it back without running anything.
+func TestRunFlightrecTripAndReplay(t *testing.T) {
+	dumpFile := filepath.Join(t.TempDir(), "flight.jsonl")
+	out, err := captureStdout(t, func() error {
+		return runFlightrec([]string{
+			"-width", "4", "-height", "4", "-cycles", "15000", "-warmup", "0",
+			"-rate", "0.01", "-baseline", "-inject", "9:va1:n:0",
+			"-watchdog", "200", "-o", dumpFile,
+		})
+	})
+	if err != nil {
+		t.Fatalf("flightrec: %v", err)
+	}
+	if !strings.Contains(out, "suspects raised") || strings.Contains(out, "0 suspects raised") {
+		t.Fatalf("watchdog never tripped:\n%s", out)
+	}
+	if !strings.Contains(out, "dumps captured") || strings.Contains(out, "0 dumps captured") {
+		t.Fatalf("trip captured no dump:\n%s", out)
+	}
+	if st, err := os.Stat(dumpFile); err != nil || st.Size() == 0 {
+		t.Fatalf("dump file missing or empty: %v", err)
+	}
+
+	replay, err := captureStdout(t, func() error {
+		return runFlightrec([]string{"-replay", dumpFile})
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, want := range []string{"watchdog", "cycle", "dumps replayed from"} {
+		if !strings.Contains(replay, want) {
+			t.Errorf("replay output missing %q; got:\n%s", want, replay)
+		}
+	}
+}
+
+// TestRunFlightrecFinalDump: with no anomaly, -final still freezes the
+// end-of-run history so quiet runs stay inspectable.
+func TestRunFlightrecFinalDump(t *testing.T) {
+	dumpFile := filepath.Join(t.TempDir(), "final.jsonl")
+	out, err := captureStdout(t, func() error {
+		return runFlightrec([]string{
+			"-width", "4", "-height", "4", "-cycles", "3000", "-warmup", "0",
+			"-rate", "0.02", "-watchdog", "0", "-final", "-o", dumpFile,
+		})
+	})
+	if err != nil {
+		t.Fatalf("flightrec: %v", err)
+	}
+	if !strings.Contains(out, "end of run") {
+		t.Fatalf("no end-of-run dump:\n%s", out)
+	}
+	f, err := os.Open(dumpFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dumps, err := obs.ReadDumps(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 || dumps[0].Reason != "end of run" || len(dumps[0].Events) == 0 {
+		t.Fatalf("dump file = %d dumps, want one non-empty end-of-run dump", len(dumps))
+	}
+}

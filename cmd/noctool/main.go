@@ -11,6 +11,8 @@
 //	noctool serve             Long-running simulation with a live telemetry endpoint
 //	noctool metrics           Simulate and print per-router obs counters
 //	noctool spans             Simulate and print per-packet hop-span breakdowns
+//	noctool heatmap           Simulate and render windowed link heatmaps + bottlenecks
+//	noctool flightrec         Simulate with the anomaly-triggered flight recorder
 //	noctool trace             Simulate and write a cycle-accurate event trace
 //	noctool ablation          Design-choice sweeps
 //	noctool bench             Step-loop scaling benchmark (BENCH_scaling.json)
@@ -88,6 +90,10 @@ func main() {
 		err = runMetrics(args)
 	case "spans":
 		err = runSpans(args)
+	case "heatmap":
+		err = runHeatmap(args)
+	case "flightrec":
+		err = runFlightrec(args)
 	case "trace":
 		err = runTrace(args)
 	case "ablation":
@@ -131,6 +137,12 @@ commands:
   spans      run a simulation and print per-packet hop spans: the slowest
              packets' latency broken down into queueing, VC-allocation
              stall, switch wait, crossbar and link cycles per hop
+  heatmap    run a simulation collecting windowed per-link utilization
+             and stall-mix series; prints per-direction ASCII heatmaps
+             and a top-N bottleneck report (-json for the raw document)
+  flightrec  run a simulation with the bounded flight recorder armed: a
+             watchdog suspect dumps the recent event history to a JSON
+             Lines file; -replay formats a dump file afterwards
   trace      run a simulation and write a cycle-accurate event trace
              (-format chrome opens in chrome://tracing or ui.perfetto.dev)
   ablation   design-choice sweeps (bypass rotation, VC count, secondary path)
@@ -416,22 +428,29 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// With telemetry on, the run is instrumented (counters only — the
-	// trace ring stays minimal and disabled).
+	// With telemetry on, the run is instrumented (counters plus the
+	// windowed link-utilization ring backing /heatmap — the trace ring
+	// stays minimal and disabled).
 	var o *obs.Observer
 	if *telemetryAddr != "" {
 		o = obs.New(1)
 		o.Tracer.SetEnabled(false)
+		topo, err := topology.New(*sf.topo, *sf.width, *sf.height, *sf.conc)
+		if err != nil {
+			return err
+		}
+		rc := router.DefaultConfig()
+		o.Windows = obs.NewWindows(topo.Nodes(), rc.Ports, rc.VCs, obs.DefaultBucketCycles, obs.DefaultWindowBucket)
 	}
 	n, err := sf.build(o)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
-	var srv *telemetry.Server
+	var flush func()
 	if *telemetryAddr != "" {
-		srv = telemetry.NewServer(o.Metrics)
-		telemetry.Attach(srv, n, 0)
+		srv := telemetry.NewServer(o.Metrics)
+		flush = telemetry.Attach(srv, n, 0)
 		// The endpoint outlives the run on purpose: the final snapshot
 		// stays scrapeable until the process exits, so a dashboard (or
 		// TestSimTelemetryScrape) can read the end state after Run returns.
@@ -446,9 +465,10 @@ func runSimReady(args []string, onReady func(net.Addr)) error {
 	}
 	n.Run(sim.Cycle(*sf.cycles))
 	st := n.Stats()
-	if srv != nil {
-		srv.SetCycle(n.Now())
-		srv.Publish(st.Snapshot())
+	if flush != nil {
+		// Publish the final (usually partial) interval: the run length is
+		// rarely a multiple of the snapshot period.
+		flush()
 	}
 	nodes := n.Topo().Nodes()
 	fmt.Printf("cycles:        %d\n", n.Now())
@@ -497,15 +517,21 @@ func serveSim(args []string, onReady func(net.Addr), stop <-chan struct{}) error
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := obs.New(1) // counters only; keep the trace ring minimal
+	o := obs.New(1) // counters + windows; keep the trace ring minimal
 	o.Tracer.SetEnabled(false)
+	topo, err := topology.New(*sf.topo, *sf.width, *sf.height, *sf.conc)
+	if err != nil {
+		return err
+	}
+	rc := router.DefaultConfig()
+	o.Windows = obs.NewWindows(topo.Nodes(), rc.Ports, rc.VCs, obs.DefaultBucketCycles, obs.DefaultWindowBucket)
 	n, err := sf.build(o)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
 	srv := telemetry.NewServer(o.Metrics)
-	telemetry.Attach(srv, n, sim.Cycle(*interval))
+	flush := telemetry.Attach(srv, n, sim.Cycle(*interval))
 	bound, shutdown, err := telemetry.ListenAndServe(*addr, srv.Handler())
 	if err != nil {
 		return err
@@ -533,9 +559,9 @@ func serveSim(args []string, onReady func(net.Addr), stop <-chan struct{}) error
 		default:
 		}
 	}
-	srv.SetCycle(n.Now())
+	// Publish the final (usually partial) interval before reporting.
+	flush()
 	st := n.Stats()
-	srv.Publish(st.Snapshot())
 	fmt.Printf("stopped at cycle %d: %d packets delivered, avg latency %.2f cycles "+
 		"(p50 %.0f, p95 %.0f, p99 %.0f)\n",
 		n.Now(), st.Ejected(), st.AvgLatency(),

@@ -11,8 +11,9 @@ import (
 // from PR 1.
 //
 // Hot-path packages hold pre-bound obs handles (*obs.RouterObs,
-// *obs.NodeObs, or the raw *obs.Observer / *obs.Metrics / *obs.Tracer)
-// that are nil when observability is disabled — the common case, which
+// *obs.NodeObs, or the raw *obs.Observer / *obs.Metrics / *obs.Tracer /
+// *obs.Windows / *obs.FlightRecorder) that are nil when observability is
+// disabled — the common case, which
 // must cost nothing. Every method call on such a handle must therefore
 // be dominated by a nil check of the same expression:
 //
@@ -37,11 +38,13 @@ var ObsGuard = &Analyzer{
 // obsGuardedTypes are the obs types whose pointer receivers are nil when
 // observability is off.
 var obsGuardedTypes = map[string]bool{
-	"Observer":  true,
-	"RouterObs": true,
-	"NodeObs":   true,
-	"Metrics":   true,
-	"Tracer":    true,
+	"Observer":       true,
+	"RouterObs":      true,
+	"NodeObs":        true,
+	"Metrics":        true,
+	"Tracer":         true,
+	"Windows":        true,
+	"FlightRecorder": true,
 }
 
 const obsPkgPath = "gonoc/internal/obs"

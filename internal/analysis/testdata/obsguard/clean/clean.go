@@ -41,3 +41,22 @@ func (r *router) negatedOr(busy bool) {
 	}
 	r.obs.SABypassGrant(4)
 }
+
+type windowed struct {
+	win    *obs.Windows
+	flight *obs.FlightRecorder
+}
+
+func (w *windowed) boundWindow() {
+	if win := w.win; win != nil {
+		win.AddStall(0, 1, obs.StallArbLost)
+	}
+}
+
+func (w *windowed) earlyReturnFlight(e obs.Event) {
+	f := w.flight
+	if f == nil {
+		return
+	}
+	f.Record(e)
+}

@@ -42,3 +42,22 @@ func (r *router) guardLost() {
 func onCallResult(n *network) {
 	n.Obs().RecordFault(0, 0, 0, 0, 0, 0, 0, "") // want `on a call result: bind the handle to a variable`
 }
+
+type windowed struct {
+	win    *obs.Windows
+	flight *obs.FlightRecorder
+}
+
+func (w *windowed) unguardedWindow() {
+	w.win.AddUtil(0, 1, 2) // want `not dominated by a nil check`
+}
+
+func (w *windowed) unguardedFlight(e obs.Event) {
+	w.flight.Record(e) // want `not dominated by a nil check`
+}
+
+func (w *windowed) crossGuarded(e obs.Event) {
+	if w.win != nil {
+		w.flight.Record(e) // want `not dominated by a nil check`
+	}
+}

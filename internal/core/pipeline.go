@@ -74,6 +74,7 @@ func (r *Router) rcStage(cy sim.Cycle) {
 			q.G = vc.VCAlloc
 			if o := r.obs; o != nil {
 				o.RCCompute(cy, p, idx, int(out), r.rc[p].Faulty(0))
+				r.noteAdvance(p, idx)
 			}
 			r.rcScan[p] = (idx + 1) % r.cfg.VCs
 			break // one RC per port per cycle
@@ -101,6 +102,7 @@ func (r *Router) computeRoute(cy sim.Cycle, p int, q *vc.VC) (out topology.Port,
 		}
 		q.DvcLo, q.DvcHi = lo, hi
 		if r.ID != dst && fout != r.topo.Route(r.ID, dst) {
+			q.Detour = true
 			r.Counters.Reroutes++
 			if o := r.obs; o != nil {
 				o.Reroute(cy, p, q.Index, int(fout))
@@ -272,6 +274,7 @@ func (r *Router) vaStage(cy sim.Cycle) {
 			r.outVCBusy[out][dvc] = true
 			if o := r.obs; o != nil {
 				o.VAAlloc(cy, wp, wv, out, dvc)
+				r.noteAdvance(wp, wv)
 			}
 		}
 	}
@@ -416,6 +419,7 @@ func (r *Router) saStage(cy sim.Cycle) {
 		})
 		if o := r.obs; o != nil {
 			o.SAGrant(cy, wp, win.vcIdx, int(win.outPort), win.bypass)
+			r.noteAdvance(wp, win.vcIdx)
 		}
 	}
 }
@@ -455,6 +459,9 @@ func (r *Router) tryTransfer(cy sim.Cycle, ip *vc.InputPort, port, dst int) {
 		r.Counters.SATransfers++
 		if o := r.obs; o != nil {
 			o.SATransfer(cy, port, dst, cand)
+			// The one-cycle transfer is the bypass mechanism making
+			// progress, not a stall of the adopted VC.
+			r.noteAdvance(port, cand)
 		}
 	}
 }
@@ -499,6 +506,7 @@ func (r *Router) xbStage(cy sim.Cycle) {
 		r.Counters.FlitsRouted++
 		if o := r.obs; o != nil {
 			o.XBTraverse(cy, int(g.inPort), g.inVC, int(g.outPort), g.secondary)
+			r.noteAdvance(int(g.inPort), g.inVC)
 		}
 		r.outFlits = append(r.outFlits, router.OutFlit{Out: g.outPort, DownVC: q.OutVC, F: f})
 		r.outCredits = append(r.outCredits, router.Credit{

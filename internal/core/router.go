@@ -176,6 +176,13 @@ type Router struct {
 	// default); every instrumentation site guards on it with one nil
 	// check so the disabled hot path stays allocation-free.
 	obs *obs.RouterObs
+
+	// stallSkip marks, per flat input-VC index p*VCs+v, that the VC
+	// advanced this cycle and must be skipped by the end-of-tick stall
+	// scan. Bits are set only on the obs-enabled path (inside existing
+	// nil-guarded blocks) and cleared by the scan itself, so the
+	// disabled hot path never touches it.
+	stallSkip []bool
 }
 
 // New returns a router with the given id in topo, configured by cfg.
@@ -228,7 +235,8 @@ func New(id int, topo topology.Topology, cfg router.Config) (*Router, error) {
 	r.outFlits = make([]router.OutFlit, 0, cfg.Ports)
 	r.outCredits = make([]router.Credit, 0, cfg.Ports*cfg.VCs+cfg.Ports)
 	r.droppedPkts = make([]*flit.Packet, 0, cfg.Ports)
-	r.obs = obs.BindRouter(cfg.Obs, id, cfg.Ports)
+	r.stallSkip = make([]bool, cfg.Ports*cfg.VCs)
+	r.obs = obs.BindRouter(cfg.Obs, id, cfg.Ports, cfg.VCs)
 	return r, nil
 }
 
@@ -319,6 +327,7 @@ func (r *Router) Tick(cy sim.Cycle) {
 	r.saStage(cy)
 	r.vaStage(cy)
 	r.rcStage(cy)
+	r.stallScan(cy)
 }
 
 // String implements fmt.Stringer.

@@ -36,6 +36,7 @@ type vcState struct {
 	id         int
 	sp         topology.Port
 	fsp        bool
+	detour     bool
 	creditHome int
 	dvcLo      int
 	dvcHi      int
@@ -155,7 +156,7 @@ func saveVC(v *vc.VC, cloneFlit func(*flit.Flit) *flit.Flit) vcState {
 	return vcState{
 		flits: fs,
 		g:     v.G, r: v.R, outVC: v.OutVC,
-		r2: v.R2, vf: v.VF, id: v.ID, sp: v.SP, fsp: v.FSP,
+		r2: v.R2, vf: v.VF, id: v.ID, sp: v.SP, fsp: v.FSP, detour: v.Detour,
 		creditHome: v.CreditHome, dvcLo: v.DvcLo, dvcHi: v.DvcHi,
 	}
 }
@@ -216,6 +217,7 @@ func restoreVC(v *vc.VC, s *vcState, cloneFlit func(*flit.Flit) *flit.Flit, scra
 	v.SetFlits(fs)
 	v.G, v.R, v.OutVC = s.g, s.r, s.outVC
 	v.R2, v.VF, v.ID, v.SP, v.FSP = s.r2, s.vf, s.id, s.sp, s.fsp
+	v.Detour = s.detour
 	v.CreditHome = s.creditHome
 	v.DvcLo, v.DvcHi = s.dvcLo, s.dvcHi
 }
@@ -270,6 +272,8 @@ func (r *Router) AppendCanonical(b []byte) []byte {
 			b = appI(b, ivc.ID)
 			b = appI(b, int(ivc.SP))
 			b = appB(b, ivc.FSP)
+			// Detour is observational only (stall attribution) and is
+			// excluded like the counters: it never feeds arbitration.
 			b = appI(b, ivc.CreditHome)
 			b = appI(b, ivc.DvcLo)
 			b = appI(b, ivc.DvcHi)

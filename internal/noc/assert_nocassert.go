@@ -36,7 +36,7 @@ const assertEnabled = true
 // cycle beats diagnosing the downstream wreckage.
 func (n *Network) assertPostStep() {
 	if err := n.CheckInvariants(); err != nil {
-		panic(fmt.Sprintf("nocassert: cycle %d: %v", n.cycle, err))
+		n.assertFail(fmt.Sprintf("nocassert: cycle %d: %v", n.cycle, err))
 	}
 	for id, r := range n.routers {
 		cfg := r.Config()
@@ -44,12 +44,23 @@ func (n *Network) assertPostStep() {
 			for v := 0; v < cfg.VCs; v++ {
 				q := r.InputVC(topology.Port(p), v)
 				if err := checkVCState(q); err != nil {
-					panic(fmt.Sprintf("nocassert: cycle %d: router %d port %v vc%d: %v",
+					n.assertFail(fmt.Sprintf("nocassert: cycle %d: router %d port %v vc%d: %v",
 						n.cycle, id, topology.Port(p), v, err))
 				}
 			}
 		}
 	}
+}
+
+// assertFail records a flight-recorder dump (when one is attached) so the
+// cycles leading up to the violation survive the crash, then panics with
+// the violation message. The dump is retrievable from the recorder by a
+// recovering caller, and the panic message points at it.
+func (n *Network) assertFail(msg string) {
+	if _, ok := n.TriggerFlightDump(msg); ok {
+		panic(msg + " (flight-recorder dump captured)")
+	}
+	panic(msg)
 }
 
 // checkVCState validates one VC against the G state machine of Figure 3d

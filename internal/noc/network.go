@@ -432,6 +432,13 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 			r.SetRouteFn(n.torusRoute)
 		}
 	}
+	// The window ring rolls from the serial pre-phase, keeping the bucket
+	// index stable while compute-phase workers add samples.
+	if o := cfg.Router.Obs; o != nil {
+		if w := o.Windows; w != nil {
+			n.AddHook(w.Roll)
+		}
+	}
 	return n, nil
 }
 
@@ -668,7 +675,7 @@ func (n *Network) commitLocal(c sim.Cycle) {
 			}
 			n.linkFlits[id][of.Out]++
 			if on := n.obsNodes[id]; on != nil {
-				on.LinkFlit(int(of.Out))
+				on.LinkFlit(int(of.Out), of.DownVC)
 			}
 			if n.routerDead[id] {
 				// A dead node ejects nothing: the packet (necessarily
@@ -764,7 +771,7 @@ func (n *Network) commitLinksNode(u int, c sim.Cycle) {
 			}
 			n.linkFlits[v][q]++
 			if on := n.obsNodes[v]; on != nil {
-				on.LinkFlit(int(q))
+				on.LinkFlit(int(q), dvc)
 			}
 			n.inFlits[u] = append(n.inFlits[u],
 				router.InFlit{In: p, VC: dvc, F: of.F})
@@ -880,6 +887,23 @@ func (n *Network) pendingRetx() int {
 		total += len(e)
 	}
 	return total
+}
+
+// TriggerFlightDump extracts the flight recorder's retained event
+// window as a dump tagged with the current cycle, and reports whether a
+// recorder is attached. It must run from a serial phase — a cycle hook,
+// between steps, or the nocassert failure path — never concurrently
+// with a parallel compute phase.
+func (n *Network) TriggerFlightDump(reason string) (obs.Dump, bool) {
+	o := n.cfg.Router.Obs
+	if o == nil {
+		return obs.Dump{}, false
+	}
+	f := o.Flight
+	if f == nil {
+		return obs.Dump{}, false
+	}
+	return f.Trigger(n.cycle, reason), true
 }
 
 // Functional reports whether every router in the network is functional.

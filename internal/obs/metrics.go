@@ -81,6 +81,23 @@ const (
 	// KNIDupsSuppressed counts duplicate deliveries suppressed at the
 	// sink NI.
 	KNIDupsSuppressed
+	// KStallCreditStarved counts non-advancing flit-cycles waiting on a
+	// free downstream VC or downstream credit, per input port and VC.
+	// The four stall kinds below must stay contiguous and in StallKind
+	// order: StallKind.Kind converts with an offset from this constant.
+	KStallCreditStarved
+	// KStallArbLost counts non-advancing flit-cycles lost to arbitration
+	// (the per-port RC round-robin, VA, or SA), per input port and VC.
+	KStallArbLost
+	// KStallRouteBlocked counts non-advancing flit-cycles attributed to a
+	// fault detour: the packet left the baseline XY path, rides the
+	// secondary crossbar path, or has no usable output path at all — per
+	// input port and VC.
+	KStallRouteBlocked
+	// KStallFaultDrain counts flit-cycles of Dropping VCs draining a
+	// packet discarded because network faults cut its destination off,
+	// per input port and VC.
+	KStallFaultDrain
 
 	numKinds
 )
@@ -100,6 +117,8 @@ func (k Kind) String() string {
 		"fault.injected", "fault.transient", "fault.recovered", "fault.detected",
 		"rc.reroutes", "link.drops", "ni.drops_unreachable",
 		"ni.retransmits", "ni.retx_timeouts", "ni.dups_suppressed",
+		"stall.credit_starved", "stall.arb_lost", "stall.route_blocked",
+		"stall.fault_drain",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -123,6 +142,8 @@ func (k Kind) Stage() Stage {
 	case KNIFlitsSent, KNIPacketsOffered, KNIPacketsEjected, KNIQueueDepth,
 		KDropsUnreachable, KNIRetransmits, KNIRetxTimeouts, KNIDupsSuppressed:
 		return StageNI
+	case KStallCreditStarved, KStallArbLost, KStallRouteBlocked, KStallFaultDrain:
+		return StageStall
 	default:
 		return StageFault
 	}
@@ -133,7 +154,8 @@ func (k Kind) Stage() Stage {
 // so the fault model can convert with a plain cast.
 type Stage int8
 
-// The router pipeline stages plus the link, NI and fault pseudo-stages.
+// The router pipeline stages plus the link, NI, fault and stall
+// pseudo-stages.
 const (
 	StageRC Stage = iota
 	StageVA
@@ -142,11 +164,12 @@ const (
 	StageLink
 	StageNI
 	StageFault
+	StageStall
 )
 
 // String implements fmt.Stringer.
 func (s Stage) String() string {
-	names := [...]string{"RC", "VA", "SA", "XB", "link", "NI", "fault"}
+	names := [...]string{"RC", "VA", "SA", "XB", "link", "NI", "fault", "stall"}
 	if int(s) >= 0 && int(s) < len(names) {
 		return names[s]
 	}

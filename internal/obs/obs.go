@@ -38,13 +38,19 @@ package obs
 
 import "gonoc/internal/sim"
 
-// Observer bundles the two collection surfaces. Either field may be nil
-// to collect only metrics or only a trace.
+// Observer bundles the collection surfaces. Any field may be nil to
+// collect only the others.
 type Observer struct {
 	// Metrics is the counter/gauge registry, or nil.
 	Metrics *Metrics
 	// Tracer captures cycle-stamped events, or nil.
 	Tracer *Tracer
+	// Windows accumulates windowed per-link utilization and stall-mix
+	// series (the /heatmap and noctool heatmap source), or nil.
+	Windows *Windows
+	// Flight is the always-on bounded flight recorder, dumped when a
+	// watchdog or nocassert anomaly trips, or nil.
+	Flight *FlightRecorder
 }
 
 // New returns an Observer with a fresh metrics registry and, when
@@ -73,10 +79,16 @@ func (o *Observer) gauge(k Key) *Gauge {
 	return o.Metrics.Gauge(k)
 }
 
-// emit forwards an event to the tracer, if any.
+// emit forwards an event to the tracer and flight recorder, if any.
 func (o *Observer) emit(e Event) {
-	if o != nil && o.Tracer != nil {
+	if o == nil {
+		return
+	}
+	if o.Tracer != nil {
 		o.Tracer.Emit(e)
+	}
+	if o.Flight != nil {
+		o.Flight.Record(e)
 	}
 }
 
@@ -112,8 +124,10 @@ func inc(c *Counter) {
 // tracing). A nil *RouterObs means observability is disabled; callers
 // guard with a single nil check.
 type RouterObs struct {
-	o  *Observer
-	id int32
+	o   *Observer
+	id  int32
+	vcs int
+	win *Windows
 
 	rcComputes, rcDup              []*Counter // per input port
 	vaAllocs, vaBorrows, vaStalls  []*Counter // per input port
@@ -121,15 +135,21 @@ type RouterObs struct {
 	reroutes                       []*Counter // per input port
 	vaRetries                      []*Counter // per output port
 	flitsRouted, xbSecondary       []*Counter // per output port
+
+	// stalls holds the stall-attribution counters, one per class, each
+	// indexed port*vcs+vc. Stall sites fire up to once per input VC per
+	// cycle, so they are pre-bound like everything else here.
+	stalls [NumStallKinds][]*Counter
 }
 
-// BindRouter resolves the per-port counter handles for router id. It
-// returns nil when o is nil, so core.New can bind unconditionally.
-func BindRouter(o *Observer, id, ports int) *RouterObs {
+// BindRouter resolves the per-port and per-VC counter handles for
+// router id. It returns nil when o is nil, so core.New can bind
+// unconditionally.
+func BindRouter(o *Observer, id, ports, vcs int) *RouterObs {
 	if o == nil {
 		return nil
 	}
-	r := &RouterObs{o: o, id: int32(id)}
+	r := &RouterObs{o: o, id: int32(id), vcs: vcs, win: o.Windows}
 	bind := func(k Kind) []*Counter {
 		cs := make([]*Counter, ports)
 		for p := range cs {
@@ -149,7 +169,31 @@ func BindRouter(o *Observer, id, ports int) *RouterObs {
 	r.flitsRouted = bind(KFlitsRouted)
 	r.xbSecondary = bind(KXBSecondary)
 	r.reroutes = bind(KReroutes)
+	for k := 0; k < NumStallKinds; k++ {
+		cs := make([]*Counter, ports*vcs)
+		for p := 0; p < ports; p++ {
+			for v := 0; v < vcs; v++ {
+				cs[p*vcs+v] = o.counter(Key{
+					Kind: StallKind(k).Kind(), Router: int32(id),
+					Port: int8(p), VC: int8(v),
+				})
+			}
+		}
+		r.stalls[k] = cs
+	}
 	return r
+}
+
+// Stall records one non-advancing flit-cycle of input VC (port, vcIdx)
+// classified as k. The stall scan can fire for every VC every cycle at
+// saturation, so no trace event is emitted — the series lives in the
+// counters and the windowed stall mix, which is what a drowned tracer
+// ring could not show anyway.
+func (r *RouterObs) Stall(k StallKind, port, vcIdx int) {
+	inc(r.stalls[k][port*r.vcs+vcIdx])
+	if w := r.win; w != nil {
+		w.AddStall(int(r.id), port, k)
+	}
 }
 
 // RCCompute records a completed routing computation for input VC
@@ -238,8 +282,9 @@ func (r *RouterObs) XBTraverse(cy sim.Cycle, port, vcIdx, out int, secondary boo
 // link utilization per output port and NI injection/ejection. Held by
 // noc.Network and noc.NI; nil when observability is disabled.
 type NodeObs struct {
-	o  *Observer
-	id int32
+	o   *Observer
+	id  int32
+	win *Windows
 
 	linkFlits []*Counter // per output port
 	linkDrops []*Counter // per output port
@@ -260,7 +305,7 @@ func BindNode(o *Observer, id, ports int) *NodeObs {
 	if o == nil {
 		return nil
 	}
-	n := &NodeObs{o: o, id: int32(id)}
+	n := &NodeObs{o: o, id: int32(id), win: o.Windows}
 	n.linkFlits = make([]*Counter, ports)
 	n.linkDrops = make([]*Counter, ports)
 	for p := range n.linkFlits {
@@ -278,8 +323,15 @@ func BindNode(o *Observer, id, ports int) *NodeObs {
 	return n
 }
 
-// LinkFlit records one flit carried by the node's output link out.
-func (n *NodeObs) LinkFlit(out int) { inc(n.linkFlits[out]) }
+// LinkFlit records one flit carried by the node's output link out on
+// downstream VC vcIdx (the VC dimension feeds the utilization windows;
+// the counter stays per-port).
+func (n *NodeObs) LinkFlit(out, vcIdx int) {
+	inc(n.linkFlits[out])
+	if w := n.win; w != nil {
+		w.AddUtil(int(n.id), out, vcIdx)
+	}
+}
 
 // NIFlitSent records the NI streaming one flit into the router.
 func (n *NodeObs) NIFlitSent() { inc(n.niSent) }
@@ -305,9 +357,13 @@ func (n *NodeObs) NIQueueDepth(depth int) {
 }
 
 // LinkDrop records a packet for dst discarded at the node's dead
-// outgoing link out.
+// outgoing link out. The drop feeds the windowed stall mix as
+// fault-drain work on that link.
 func (n *NodeObs) LinkDrop(cy sim.Cycle, out, dst int) {
 	inc(n.linkDrops[out])
+	if w := n.win; w != nil {
+		w.AddStall(int(n.id), out, StallFaultDrain)
+	}
 	n.o.emit(Event{Cycle: cy, Kind: EvLinkDrop, Router: n.id, Port: int8(out), VC: NoVC, Arg: int32(dst)})
 }
 

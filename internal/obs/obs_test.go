@@ -37,7 +37,7 @@ func TestCounterConcurrentIncrements(t *testing.T) {
 func TestDisabledObserverIsNoOp(t *testing.T) {
 	// A nil Observer must make every binding nil and every generic
 	// record a no-op — this is the disabled hot path.
-	if BindRouter(nil, 0, 5) != nil {
+	if BindRouter(nil, 0, 5, 4) != nil {
 		t.Fatal("BindRouter(nil) != nil")
 	}
 	if BindNode(nil, 0, 5) != nil {
@@ -51,7 +51,7 @@ func TestDisabledObserverIsNoOp(t *testing.T) {
 	if n := BindNode(empty, 1, 5); n == nil {
 		t.Fatal("BindNode with metrics-less observer returned nil")
 	} else {
-		n.LinkFlit(2) // nil counter handles must be tolerated
+		n.LinkFlit(2, 0) // nil counter handles must be tolerated
 		n.NIQueueDepth(3)
 	}
 }
@@ -71,7 +71,7 @@ func TestDisabledAllocationFree(t *testing.T) {
 
 func TestRouterObsCountsAndTraces(t *testing.T) {
 	o := New(64)
-	r := BindRouter(o, 7, 5)
+	r := BindRouter(o, 7, 5, 4)
 	r.RCCompute(5, 1, 0, 2, true)
 	r.VAAlloc(6, 1, 0, 2, 3)
 	r.VABorrow(6, 1, 2, 0)
@@ -195,7 +195,7 @@ func TestWriteChromeTrace(t *testing.T) {
 
 func TestFormatPerRouter(t *testing.T) {
 	o := New(0)
-	r := BindRouter(o, 2, 5)
+	r := BindRouter(o, 2, 5, 4)
 	r.XBTraverse(1, 0, 0, 1, true)
 	r.VABorrow(1, 0, 0, 1)
 	txt := FormatPerRouter(o.Metrics, 100)

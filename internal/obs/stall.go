@@ -1,0 +1,49 @@
+package obs
+
+// Stall attribution. The router's end-of-tick stall scan (core.Router)
+// classifies every input VC that held work it could not advance this
+// cycle into one of four causes, answering "where do the lost cycles
+// go" — the congestion-observability question the raw stage counters
+// cannot: KVAAllocs says how often allocation succeeded, never why it
+// didn't.
+
+// StallKind classifies one non-advancing flit-cycle of an input VC.
+type StallKind uint8
+
+const (
+	// StallCreditStarved: the VC waited on downstream buffer space — no
+	// free downstream VC to allocate, or zero credits on the allocated
+	// one. The bottleneck is the next hop, not this router.
+	StallCreditStarved StallKind = iota
+	// StallArbLost: the VC was ready but lost an arbitration — the
+	// per-port RC round-robin, a VA stage, or switch allocation. The
+	// bottleneck is contention inside this router.
+	StallArbLost
+	// StallRouteBlocked: the wait is attributed to a fault detour — the
+	// packet left the baseline XY path (vc.VC.Detour), rides the
+	// protected crossbar's secondary path (FSP), or no usable output
+	// path remains at all. The root cause is the fault, whatever
+	// resource the packet happens to be waiting on.
+	StallRouteBlocked
+	// StallFaultDrain: the VC is Dropping — draining a packet discarded
+	// because network faults cut off its destination — and still held
+	// flits this cycle.
+	StallFaultDrain
+
+	numStallKinds
+)
+
+// NumStallKinds is the number of stall classes, for table building.
+const NumStallKinds = int(numStallKinds)
+
+// String implements fmt.Stringer.
+func (k StallKind) String() string {
+	names := [...]string{"credit_starved", "arb_lost", "route_blocked", "fault_drain"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "stall.unknown"
+}
+
+// Kind returns the metrics counter Kind accumulating this stall class.
+func (k StallKind) Kind() Kind { return KStallCreditStarved + Kind(k) }

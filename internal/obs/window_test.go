@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStallKindCounterMapping(t *testing.T) {
+	// StallKind.Kind depends on the four KStall* constants staying
+	// contiguous and in StallKind order.
+	want := []Kind{KStallCreditStarved, KStallArbLost, KStallRouteBlocked, KStallFaultDrain}
+	for k := 0; k < NumStallKinds; k++ {
+		if got := StallKind(k).Kind(); got != want[k] {
+			t.Errorf("StallKind(%d).Kind() = %v, want %v", k, got, want[k])
+		}
+		if StallKind(k).String() == "" {
+			t.Errorf("StallKind(%d) has no name", k)
+		}
+		if got := want[k].Stage(); got != StageStall {
+			t.Errorf("%v.Stage() = %v, want %v", want[k], got, StageStall)
+		}
+	}
+}
+
+func TestWindowsRollAndSnapshot(t *testing.T) {
+	w := NewWindows(2, 5, 4, 10, 3)
+	// Bucket 1 (cycles 0..9): 3 flits on node 0 port 1 vc 2, one stall.
+	for c := 0; c < 10; c++ {
+		w.Roll(uint64ToCycle(c))
+		if c < 3 {
+			w.AddUtil(0, 1, 2)
+		}
+	}
+	w.AddStall(0, 1, StallArbLost)
+	// Bucket 2 (cycles 10..19): 2 flits on node 1 port 4 vc 0.
+	for c := 10; c < 20; c++ {
+		w.Roll(uint64ToCycle(c))
+		if c < 12 {
+			w.AddUtil(1, 4, 0)
+		}
+	}
+	// Bucket 3 opens at cycle 20 (partial, 5 cycles): a route stall.
+	for c := 20; c < 25; c++ {
+		w.Roll(uint64ToCycle(c))
+	}
+	w.AddStall(1, 4, StallRouteBlocked)
+
+	s := w.Snapshot()
+	if len(s.Buckets) != 3 {
+		t.Fatalf("retained %d buckets, want 3", len(s.Buckets))
+	}
+	if s.Buckets[0].Start != 0 || s.Buckets[1].Start != 10 || s.Buckets[2].Start != 20 {
+		t.Fatalf("bucket starts = %d,%d,%d, want 0,10,20",
+			s.Buckets[0].Start, s.Buckets[1].Start, s.Buckets[2].Start)
+	}
+	if s.Buckets[2].Cycles != 5 || !s.Buckets[2].Partial {
+		t.Fatalf("final bucket = %d cycles partial=%v, want 5 partial", s.Buckets[2].Cycles, s.Buckets[2].Partial)
+	}
+	if got := s.Cycles(); got != 25 {
+		t.Fatalf("snapshot covers %d cycles, want 25", got)
+	}
+	totals := s.LinkTotals()
+	if len(totals) != 2*5 {
+		t.Fatalf("got %d link totals, want 10", len(totals))
+	}
+	byLink := map[[2]int]LinkTotal{}
+	for _, lt := range totals {
+		byLink[[2]int{lt.Node, lt.Port}] = lt
+	}
+	if lt := byLink[[2]int{0, 1}]; lt.Flits != 3 || lt.PerVC[2] != 3 || lt.Stalls[StallArbLost] != 1 {
+		t.Fatalf("link (0,1) = %+v, want 3 flits on vc2 and one arb stall", lt)
+	}
+	if lt := byLink[[2]int{1, 4}]; lt.Flits != 2 || lt.Stalls[StallRouteBlocked] != 1 {
+		t.Fatalf("link (1,4) = %+v, want 2 flits and one route stall", lt)
+	}
+
+	top := s.TopLinks(5)
+	if len(top) != 2 {
+		t.Fatalf("TopLinks kept %d links, want 2 (zero-flit links excluded)", len(top))
+	}
+	if top[0].Node != 0 || top[0].Port != 1 || top[1].Node != 1 || top[1].Port != 4 {
+		t.Fatalf("TopLinks order wrong: %+v", top)
+	}
+	if one := s.TopLinks(1); len(one) != 1 || one[0].Flits != 3 {
+		t.Fatalf("TopLinks(1) = %+v, want just the 3-flit link", one)
+	}
+}
+
+func TestWindowsRingRecycles(t *testing.T) {
+	w := NewWindows(1, 5, 4, 10, 3)
+	// Run 6 buckets; only the last 2 completed plus the partial survive.
+	for c := 0; c < 60; c++ {
+		w.Roll(uint64ToCycle(c))
+		w.AddUtil(0, 1, 0)
+	}
+	s := w.Snapshot()
+	if len(s.Buckets) != 3 {
+		t.Fatalf("retained %d buckets, want 3", len(s.Buckets))
+	}
+	if s.Buckets[0].Start != 30 {
+		t.Fatalf("oldest retained bucket starts at %d, want 30", s.Buckets[0].Start)
+	}
+	// Each completed bucket saw exactly 10 adds; drops of older buckets
+	// are reflected in the totals.
+	if lt := s.LinkTotals()[1]; lt.Flits != 30 {
+		t.Fatalf("retained flits = %d, want 30 (3 buckets x 10)", lt.Flits)
+	}
+}
+
+func TestWindowsConcurrentAdds(t *testing.T) {
+	// Adders race each other and a scrape reader; run under -race in CI.
+	w := NewWindows(4, 5, 4, DefaultBucketCycles, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.AddUtil(node, 1, i%4)
+				w.AddStall(node, 2, StallKind(i%NumStallKinds))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = w.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	var flits uint64
+	final := w.Snapshot()
+	for _, lt := range final.LinkTotals() {
+		flits += lt.Flits
+	}
+	if flits != 4*1000 {
+		t.Fatalf("total flits = %d, want 4000", flits)
+	}
+}

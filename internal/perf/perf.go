@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
 	"gonoc/internal/traffic"
@@ -36,7 +37,17 @@ import (
 // Schema identifies the snapshot format. Bump the suffix when the
 // structure or the meaning of a field changes; the reader rejects
 // snapshots with a different schema so stale files fail loudly.
-const Schema = "gonoc-bench-scaling/v1"
+const Schema = "gonoc-bench-scaling/v2"
+
+// Observability modes a case can measure. Off is the zero-alloc hot
+// path; ObsOn adds the counter registry, stall attribution and the
+// windowed utilization ring; ObsFlight additionally arms the flight
+// recorder, so every trace-emitting site also stores into its ring.
+const (
+	ObsOff    = ""
+	ObsOn     = "obs"
+	ObsFlight = "flight"
+)
 
 // Case is one measurement configuration.
 type Case struct {
@@ -47,6 +58,11 @@ type Case struct {
 	Rate          float64 `json:"rate"`
 	WarmupCycles  int     `json:"warmup_cycles"`
 	MeasureCycles int     `json:"measure_cycles"`
+	// ObsMode selects the observability configuration: ObsOff, ObsOn or
+	// ObsFlight. The steady-state zero-alloc contract holds in every
+	// mode — handles are pre-bound and the rings are pre-allocated — so
+	// the modes differ in time per step, not allocations.
+	ObsMode string `json:"obs_mode,omitempty"`
 }
 
 // Key identifies a case across snapshots, independent of how many
@@ -56,7 +72,11 @@ func (c Case) Key() string {
 	if topo == "" {
 		topo = "mesh"
 	}
-	return fmt.Sprintf("%s-%dx%d-w%d", topo, c.Width, c.Height, c.Workers)
+	k := fmt.Sprintf("%s-%dx%d-w%d", topo, c.Width, c.Height, c.Workers)
+	if c.ObsMode != ObsOff {
+		k += "-" + c.ObsMode
+	}
+	return k
 }
 
 // Point is one measured case.
@@ -95,6 +115,12 @@ func DefaultTrajectory() []Case {
 		{Topo: "torus", Width: 32, Height: 32, Workers: 1, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000},
 		{Topo: "torus", Width: 32, Height: 32, Workers: 4, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000},
 		{Topo: "cmesh", Width: 32, Height: 32, Workers: 4, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000},
+		// Observability overhead: the same 32x32 mesh with counters,
+		// stall attribution and windows on, and with the flight recorder
+		// armed on top. Compare against the w1 obs-off point above.
+		{Topo: "", Width: 32, Height: 32, Workers: 1, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000, ObsMode: ObsOn},
+		{Topo: "", Width: 32, Height: 32, Workers: 1, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 1000, ObsMode: ObsFlight},
+		{Topo: "", Width: 64, Height: 64, Workers: 4, Rate: 0.02, WarmupCycles: 200, MeasureCycles: 400, ObsMode: ObsOn},
 	}
 }
 
@@ -107,6 +133,9 @@ func QuickTrajectory() []Case {
 		{Topo: "", Width: 64, Height: 64, Workers: 1, Rate: 0.02, WarmupCycles: 100, MeasureCycles: 120},
 		{Topo: "", Width: 64, Height: 64, Workers: 4, Rate: 0.02, WarmupCycles: 100, MeasureCycles: 120},
 		{Topo: "torus", Width: 32, Height: 32, Workers: 4, Rate: 0.02, WarmupCycles: 100, MeasureCycles: 200},
+		// The CI strict gate also pins the zero-alloc contract with
+		// observability on (counters + windows + flight recorder).
+		{Topo: "", Width: 16, Height: 16, Workers: 1, Rate: 0.02, WarmupCycles: 100, MeasureCycles: 400, ObsMode: ObsFlight},
 	}
 }
 
@@ -120,6 +149,19 @@ func Measure(c Case) (Point, error) {
 	src.StopAt(horizon)
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
+	switch c.ObsMode {
+	case ObsOff:
+	case ObsOn, ObsFlight:
+		o := obs.New(1)
+		o.Tracer.SetEnabled(false)
+		o.Windows = obs.NewWindows(nodes, rc.Ports, rc.VCs, obs.DefaultBucketCycles, obs.DefaultWindowBucket)
+		if c.ObsMode == ObsFlight {
+			o.Flight = obs.NewFlightRecorder(nodes, obs.DefaultFlightEvents)
+		}
+		rc.Obs = o
+	default:
+		return Point{}, fmt.Errorf("perf: %s: unknown obs mode %q", c.Key(), c.ObsMode)
+	}
 	n, err := noc.New(noc.Config{
 		Width: c.Width, Height: c.Height, Topo: c.Topo,
 		Router: rc, Warmup: 50, Workers: c.Workers,

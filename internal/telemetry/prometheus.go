@@ -128,6 +128,33 @@ func (s *Server) writePrometheus(w io.Writer) {
 		}
 	}
 
+	if win := s.windows.Load(); win != nil {
+		snap := win.Snapshot()
+		fmt.Fprintf(w, "# HELP gonoc_window_cycles Cycles covered by the retained utilization window ring.\n"+
+			"# TYPE gonoc_window_cycles gauge\ngonoc_window_cycles %d\n", snap.Cycles())
+		totals := snap.LinkTotals()
+		fmt.Fprintf(w, "# HELP gonoc_link_window_flits Flits committed onto a link within the retained windows.\n"+
+			"# TYPE gonoc_link_window_flits gauge\n")
+		for _, lt := range totals {
+			if lt.Flits == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "gonoc_link_window_flits{router=%q,port=%q} %d\n",
+				fmt.Sprint(lt.Node), fmt.Sprint(lt.Port), lt.Flits)
+		}
+		fmt.Fprintf(w, "# HELP gonoc_link_window_stalls Stalled flit-cycles at a port within the retained windows, by cause.\n"+
+			"# TYPE gonoc_link_window_stalls gauge\n")
+		for _, lt := range totals {
+			for k := 0; k < obs.NumStallKinds; k++ {
+				if lt.Stalls[k] == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "gonoc_link_window_stalls{router=%q,port=%q,kind=%q} %d\n",
+					fmt.Sprint(lt.Node), fmt.Sprint(lt.Port), obs.StallKind(k).String(), lt.Stalls[k])
+			}
+		}
+	}
+
 	if names, by := s.progressSorted(); len(names) > 0 {
 		fmt.Fprintf(w, "# HELP gonoc_progress_done Completed units of a long-running task.\n"+
 			"# TYPE gonoc_progress_done gauge\n")

@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,7 @@ type Progress struct {
 // not usable; call NewServer.
 type Server struct {
 	metrics *obs.Metrics
+	windows atomic.Pointer[obs.Windows]
 	snap    atomic.Pointer[stats.Snapshot]
 	cycle   atomic.Uint64
 
@@ -62,6 +64,13 @@ type Server struct {
 func NewServer(m *obs.Metrics) *Server {
 	return &Server{metrics: m, progress: map[string]Progress{}}
 }
+
+// SetWindows attaches a windowed-utilization ring; /heatmap and the
+// gonoc_link_window_* gauge families render it. Windows cells are
+// atomics, so scrapes may read the ring live while workers add samples
+// (a scrape racing a bucket roll sees a partially-zeroed newest bucket,
+// which the snapshot marks partial anyway).
+func (s *Server) SetWindows(w *obs.Windows) { s.windows.Store(w) }
 
 // Publish makes st the snapshot served by /metrics and /status. Call it
 // from the simulation goroutine (e.g. a noc cycle hook); scrapes on
@@ -105,8 +114,63 @@ type Status struct {
 	Progress map[string]Progress `json:"progress,omitempty"`
 }
 
+// HeatmapLink is one link's recent-window activity in the /heatmap
+// document: flit counts (total and per VC) and the stall mix, summed
+// over the retained window ring.
+type HeatmapLink struct {
+	Node  int      `json:"node"`
+	Port  int      `json:"port"`
+	Flits uint64   `json:"flits"`
+	PerVC []uint64 `json:"per_vc"`
+	// Stalls is indexed like the top-level StallKinds list.
+	Stalls []uint64 `json:"stalls"`
+}
+
+// Heatmap is the /heatmap JSON document: the windowed link-utilization
+// ring reduced to per-link totals over the cycles it still covers.
+type Heatmap struct {
+	Cycle        uint64 `json:"cycle"`
+	BucketCycles uint64 `json:"bucket_cycles"`
+	Buckets      int    `json:"buckets"`
+	// WindowCycles is how many cycles the retained buckets cover.
+	WindowCycles uint64 `json:"window_cycles"`
+	// StallKinds names the indices of every link's Stalls array.
+	StallKinds []string      `json:"stall_kinds"`
+	Links      []HeatmapLink `json:"links"`
+}
+
+// heatmap reduces the current window ring to the /heatmap document.
+// top > 0 keeps only the top links by flit count.
+func (s *Server) heatmap(top int) Heatmap {
+	doc := Heatmap{Cycle: s.cycle.Load(), StallKinds: make([]string, obs.NumStallKinds)}
+	for k := 0; k < obs.NumStallKinds; k++ {
+		doc.StallKinds[k] = obs.StallKind(k).String()
+	}
+	w := s.windows.Load()
+	if w == nil {
+		return doc
+	}
+	snap := w.Snapshot()
+	doc.BucketCycles = uint64(snap.BucketCycles)
+	doc.Buckets = len(snap.Buckets)
+	doc.WindowCycles = uint64(snap.Cycles())
+	totals := snap.LinkTotals()
+	if top > 0 {
+		totals = snap.TopLinks(top)
+	}
+	doc.Links = make([]HeatmapLink, 0, len(totals))
+	for _, lt := range totals {
+		doc.Links = append(doc.Links, HeatmapLink{
+			Node: lt.Node, Port: lt.Port, Flits: lt.Flits,
+			PerVC: lt.PerVC, Stalls: lt.Stalls[:],
+		})
+	}
+	return doc
+}
+
 // Handler returns the HTTP handler: GET /metrics (Prometheus text
-// exposition) and GET /status (JSON).
+// exposition), GET /status (JSON) and GET /heatmap (windowed link
+// utilization and stall mix as JSON; ?top=N keeps the N busiest links).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -123,18 +187,45 @@ func (s *Server) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
 	})
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		top := 0
+		if v := r.URL.Query().Get("top"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "top must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			top = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.heatmap(top))
+	})
 	return mux
 }
 
 // Attach wires the server to a network: a cycle hook publishes a fresh
 // stats snapshot every `every` cycles (and keeps the cycle gauge
-// current). Hooks run in Step's serial pre-phase on the simulation
-// goroutine — the only place the unsynchronized stats.Collector may be
-// read — so attaching is safe at any Workers setting. every == 0
-// selects a sensible default.
-func Attach(s *Server, n *noc.Network, every sim.Cycle) {
+// current), and the network's window ring (if its observer has one) is
+// exposed on /heatmap. Hooks run in Step's serial pre-phase on the
+// simulation goroutine — the only place the unsynchronized
+// stats.Collector may be read — so attaching is safe at any Workers
+// setting. every == 0 selects a sensible default.
+//
+// The returned flush publishes a final snapshot at the current cycle.
+// The hook alone leaves the last partial interval unpublished — a run
+// whose length is not a multiple of `every` would serve stale final
+// numbers forever — so call flush from the simulation goroutine once
+// stepping is done (and before reading the endpoints for end state).
+func Attach(s *Server, n *noc.Network, every sim.Cycle) (flush func()) {
 	if every == 0 {
 		every = 1 << 10
+	}
+	if o := n.Obs(); o != nil {
+		if w := o.Windows; w != nil {
+			s.SetWindows(w)
+		}
 	}
 	n.AddHook(func(c sim.Cycle) {
 		s.SetCycle(c)
@@ -142,6 +233,10 @@ func Attach(s *Server, n *noc.Network, every sim.Cycle) {
 			s.Publish(n.Stats().Snapshot())
 		}
 	})
+	return func() {
+		s.SetCycle(n.Now())
+		s.Publish(n.Stats().Snapshot())
+	}
 }
 
 // ListenAndServe binds addr synchronously and then serves h in the

@@ -169,6 +169,8 @@ func TestStatusJSON(t *testing.T) {
 // simulation state.
 func TestScrapeWhileSteppingParallel(t *testing.T) {
 	o := obs.New(1 << 12)
+	o.Windows = obs.NewWindows(16, 5, 4, 256, 4)
+	o.Flight = obs.NewFlightRecorder(16, 64)
 	n := testNet(o, 8)
 	defer n.Close()
 	srv := NewServer(o.Metrics)
@@ -191,6 +193,8 @@ func TestScrapeWhileSteppingParallel(t *testing.T) {
 				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 				rec = httptest.NewRecorder()
 				h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/heatmap?top=8", nil))
 			}
 		}()
 	}
@@ -202,6 +206,146 @@ func TestScrapeWhileSteppingParallel(t *testing.T) {
 	if !strings.Contains(body, "gonoc_packet_latency_cycles_bucket") {
 		t.Error("no latency buckets after parallel run")
 	}
+}
+
+// TestHeatmapEndpoint is the /heatmap scrape smoke test: the endpoint
+// serves the windowed link heatmap as JSON, honors ?top=N, and rejects
+// malformed values.
+func TestHeatmapEndpoint(t *testing.T) {
+	o := obs.New(0)
+	o.Windows = obs.NewWindows(16, 5, 4, 256, 4)
+	n := testNet(o, 1)
+	defer n.Close()
+	srv := NewServer(o.Metrics)
+	flush := Attach(srv, n, 256)
+	n.Run(2000)
+	flush()
+
+	var hm Heatmap
+	if err := json.Unmarshal([]byte(get(t, srv.Handler(), "/heatmap")), &hm); err != nil {
+		t.Fatalf("heatmap not valid JSON: %v", err)
+	}
+	if hm.Cycle != 2000 || hm.BucketCycles != 256 {
+		t.Fatalf("heatmap header = cycle %d, bucket %d; want 2000, 256", hm.Cycle, hm.BucketCycles)
+	}
+	if hm.WindowCycles == 0 || hm.WindowCycles > 4*256 {
+		t.Fatalf("window covers %d cycles, want (0, 1024]", hm.WindowCycles)
+	}
+	if len(hm.StallKinds) != obs.NumStallKinds {
+		t.Fatalf("%d stall kinds, want %d", len(hm.StallKinds), obs.NumStallKinds)
+	}
+	// The full document carries every (router, port) pair, busy or idle.
+	if len(hm.Links) != 16*5 {
+		t.Fatalf("full heatmap names %d links, want 80", len(hm.Links))
+	}
+	var busy int
+	for _, l := range hm.Links {
+		if l.Flits > 0 {
+			busy++
+		}
+		var perVC uint64
+		for _, v := range l.PerVC {
+			perVC += v
+		}
+		if perVC != l.Flits {
+			t.Fatalf("link %d/%d: per-VC sum %d != flits %d", l.Node, l.Port, perVC, l.Flits)
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no link carried traffic after a loaded run")
+	}
+
+	var top Heatmap
+	if err := json.Unmarshal([]byte(get(t, srv.Handler(), "/heatmap?top=2")), &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Links) != 2 {
+		t.Fatalf("top=2 returned %d links", len(top.Links))
+	}
+	for _, l := range top.Links {
+		if l.Flits == 0 {
+			t.Fatalf("top-N kept idle link %d/%d", l.Node, l.Port)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/heatmap?top=zebra", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad top value returned %d, want 400", rec.Code)
+	}
+
+	// Without windows attached the endpoint degrades to an empty document
+	// rather than a scrape error.
+	bare := NewServer(nil)
+	var empty Heatmap
+	if err := json.Unmarshal([]byte(get(t, bare.Handler(), "/heatmap")), &empty); err != nil {
+		t.Fatalf("windowless heatmap not valid JSON: %v", err)
+	}
+	if len(empty.Links) != 0 {
+		t.Fatalf("windowless heatmap names %d links", len(empty.Links))
+	}
+}
+
+// TestAttachFlushPublishesFinalSnapshot is the staleness regression: a
+// run whose length is not a multiple of the publish interval used to
+// leave /status frozen at the last interval boundary. The flush func
+// Attach returns must republish the end-of-run state.
+func TestAttachFlushPublishesFinalSnapshot(t *testing.T) {
+	o := obs.New(0)
+	n := testNet(o, 1)
+	defer n.Close()
+	srv := NewServer(o.Metrics)
+	flush := Attach(srv, n, 1024)
+	n.Run(1500) // 1500 % 1024 != 0: the hook last published at cycle 1024
+
+	var stale Status
+	if err := json.Unmarshal([]byte(get(t, srv.Handler(), "/status")), &stale); err != nil {
+		t.Fatal(err)
+	}
+	want := n.Stats().Snapshot()
+	if stale.Stats.Created == want.Created {
+		t.Fatal("test is vacuous: no packets created after the last interval boundary")
+	}
+
+	flush()
+	var fresh Status
+	if err := json.Unmarshal([]byte(get(t, srv.Handler(), "/status")), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cycle != 1500 {
+		t.Fatalf("flushed cycle = %d, want 1500", fresh.Cycle)
+	}
+	if fresh.Stats.Created != want.Created || fresh.Stats.Ejected != want.Ejected {
+		t.Fatalf("flushed stats stale: %+v vs created %d ejected %d",
+			fresh.Stats, want.Created, want.Ejected)
+	}
+}
+
+// TestPrometheusWindowSeries: with windows attached, /metrics carries
+// the windowed link-utilization and stall-mix series in valid
+// exposition syntax.
+func TestPrometheusWindowSeries(t *testing.T) {
+	o := obs.New(0)
+	o.Windows = obs.NewWindows(16, 5, 4, 256, 4)
+	n := testNet(o, 1)
+	defer n.Close()
+	srv := NewServer(o.Metrics)
+	flush := Attach(srv, n, 256)
+	n.Run(2000)
+	flush()
+
+	body := get(t, srv.Handler(), "/metrics")
+	for _, want := range []string{
+		"# TYPE gonoc_window_cycles gauge",
+		"# TYPE gonoc_link_window_flits gauge",
+		"gonoc_link_window_flits{router=",
+		`kind="arb_lost"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	checkPrometheusSyntax(t, strings.NewReader(body))
 }
 
 func TestListenAndServe(t *testing.T) {

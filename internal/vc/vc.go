@@ -94,6 +94,13 @@ type VC struct {
 	// FSP indicates the crossbar secondary path must be used.
 	FSP bool
 
+	// Detour is set when fault-aware routing sent this packet off the
+	// baseline XY path at this hop. It is observational only — the
+	// stall scan attributes the packet's waits to the fault
+	// (route-blocked) while it holds — and never feeds back into
+	// arbitration.
+	Detour bool
+
 	// CreditHome is the VC index the upstream router believes these flits
 	// occupy. It equals Index normally and diverges only after an SA-stage
 	// transfer (Section V-C1): credits and the tail's VC-free signal must
@@ -189,6 +196,7 @@ func (v *VC) ResetPacketState() {
 	v.OutVC = None
 	v.FSP = false
 	v.SP = topology.Local
+	v.Detour = false
 	v.CreditHome = v.Index
 	v.DvcLo, v.DvcHi = 0, 0
 }
@@ -269,6 +277,7 @@ func (ip *InputPort) Transfer(src, dst int) {
 	s.buf = s.buf[:0]
 	d.G, d.R, d.OutVC = s.G, s.R, s.OutVC
 	d.SP, d.FSP = s.SP, s.FSP
+	d.Detour = s.Detour
 	d.CreditHome = s.CreditHome
 	d.DvcLo, d.DvcHi = s.DvcLo, s.DvcHi
 	s.ResetPacketState()

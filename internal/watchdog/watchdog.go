@@ -117,16 +117,25 @@ func (m *Monitor) hook(c sim.Cycle) {
 				}
 				st.reported = true
 				stage := localize(q.G)
-				m.suspects = append(m.suspects, Suspect{
+				sus := Suspect{
 					Router:   node,
 					Port:     port,
 					VC:       v,
 					Stage:    stage,
 					Since:    st.lastMove,
 					Detected: c,
-				})
+				}
+				m.suspects = append(m.suspects, sus)
 				m.obs.RecordFault(obs.KFaultsDetected, obs.EvFaultDetect,
 					c, node, p, v, int32(stage), "")
+				// A new suspect is exactly the anomaly the flight recorder
+				// exists for: freeze the recent history before the stuck
+				// traffic ages it out of the ring.
+				if o := m.obs; o != nil {
+					if f := o.Flight; f != nil {
+						f.Trigger(c, "watchdog: "+sus.String())
+					}
+				}
 			}
 		}
 	}

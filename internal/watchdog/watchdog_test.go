@@ -1,10 +1,13 @@
 package watchdog
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"gonoc/internal/core"
 	"gonoc/internal/noc"
+	"gonoc/internal/obs"
 	"gonoc/internal/router"
 	"gonoc/internal/topology"
 	"gonoc/internal/traffic"
@@ -128,5 +131,50 @@ func TestSuspectString(t *testing.T) {
 	s := Suspect{Router: 3, Port: topology.East, VC: 1, Stage: core.StageVA, Since: 10, Detected: 210}
 	if s.String() == "" {
 		t.Fatal("empty String")
+	}
+}
+
+func TestTripTriggersFlightDump(t *testing.T) {
+	// A watchdog trip is an anomaly: it must capture a non-empty,
+	// replayable flight-recorder dump naming the suspect in its reason.
+	o := obs.New(1)
+	o.Tracer.SetEnabled(false)
+	o.Flight = obs.NewFlightRecorder(16, 64)
+	cfg := protCfg(true)
+	cfg.Router.Obs = o
+	n := noc.MustNew(cfg, lightTraffic(7))
+	n.Router(5).SetRCFault(topology.West, 0, true)
+	n.Router(5).SetRCFault(topology.West, 1, true)
+	m := New(n, 200)
+	n.Run(15000)
+	if len(m.Suspects()) == 0 {
+		t.Fatal("watchdog never tripped")
+	}
+	dumps := o.Flight.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("trip captured no flight dump")
+	}
+	d := dumps[0]
+	if len(d.Events) == 0 {
+		t.Fatal("flight dump is empty")
+	}
+	if !strings.Contains(d.Reason, "watchdog") || !strings.Contains(d.Reason, "router 5") {
+		t.Fatalf("dump reason %q does not name the suspect", d.Reason)
+	}
+	// Replayable: the dump survives serialization and formats to a
+	// cycle-grouped transcript.
+	var buf bytes.Buffer
+	if err := obs.WriteDumps(&buf, dumps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadDumps(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(dumps) || len(back[0].Events) != len(d.Events) {
+		t.Fatalf("round trip lost events: %d dumps, %d events", len(back), len(back[0].Events))
+	}
+	if txt := obs.FormatDump(back[0]); !strings.Contains(txt, d.Reason) {
+		t.Fatalf("formatted replay missing reason:\n%s", txt)
 	}
 }
