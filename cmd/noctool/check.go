@@ -9,6 +9,7 @@ import (
 	"gonoc/internal/noc"
 	"gonoc/internal/router"
 	"gonoc/internal/sim"
+	"gonoc/internal/topology"
 )
 
 // runCheck is the model-checking tier's CLI: it exhaustively explores
@@ -17,8 +18,9 @@ import (
 // non-zero with a replayable counterexample trace on any violation.
 func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
-	w := fs.Int("w", 2, "mesh width")
-	h := fs.Int("h", 2, "mesh height")
+	w := fs.Int("w", 2, "grid width")
+	h := fs.Int("h", 2, "grid height")
+	topoFlag := fs.String("topo", "mesh", "topology family: mesh or torus (a torus sweep includes every wrap link)")
 	maxStates := fs.Int("max-states", 1<<22, "distinct-state cap per scenario")
 	maxDepth := fs.Int("max-depth", 4096, "transition-depth cap per scenario")
 	budget := fs.Duration("budget", 0, "wall-clock budget per scenario (0 = none)")
@@ -34,9 +36,12 @@ func runCheck(args []string) error {
 	}
 	retx := noc.RetxConfig{Timeout: sim.Cycle(*retxTimeout), MaxRetries: *retxRetries}
 	opt := modelcheck.Options{MaxStates: *maxStates, MaxDepth: *maxDepth, Budget: *budget}
+	if _, err := topology.New(*topoFlag, *w, *h, 1); err != nil {
+		return err
+	}
 
 	if *sabotage >= 0 {
-		sc := modelcheck.Ring(*w, *h)
+		sc := modelcheck.RingOn(*topoFlag, *w, *h)
 		sc.Name = fmt.Sprintf("%s-sabotage-%d", sc.Name, *sabotage)
 		sc.VCs, sc.Classes, sc.Depth = 1, 1, 1
 		sc.SabotageNode = *sabotage
@@ -61,7 +66,7 @@ func runCheck(args []string) error {
 	}
 
 	if *mcWalks > 0 {
-		sc := modelcheck.Ring(*w, *h)
+		sc := modelcheck.RingOn(*topoFlag, *w, *h)
 		sc.Retx = retx
 		res, err := modelcheck.MonteCarlo(sc, modelcheck.MCOptions{Walks: *mcWalks, Seed: *mcSeed})
 		if err != nil {
@@ -75,7 +80,7 @@ func runCheck(args []string) error {
 	}
 
 	start := time.Now()
-	results, err := modelcheck.CheckMesh(*w, *h, retx, opt)
+	results, err := modelcheck.CheckTopo(*topoFlag, *w, *h, retx, opt)
 	if err != nil {
 		return err
 	}
@@ -92,8 +97,12 @@ func runCheck(args []string) error {
 			return fmt.Errorf("%s: exploration bound hit (%s); raise -max-states/-budget or use -mc", r.Scenario.Name, r.Detail)
 		}
 	}
-	fmt.Printf("\nPROVED %d/%d scenarios (%d states total) in %v: deadlock freedom and full delivery on the %dx%d mesh, fault free and under every single link/router fault\n",
-		proved, len(results), states, time.Since(start).Round(time.Millisecond), *w, *h)
+	kind := *topoFlag
+	if kind == "" {
+		kind = "mesh"
+	}
+	fmt.Printf("\nPROVED %d/%d scenarios (%d states total) in %v: deadlock freedom and full delivery on the %dx%d %s, fault free and under every single link/router fault\n",
+		proved, len(results), states, time.Since(start).Round(time.Millisecond), *w, *h, kind)
 	return crossvalIfAsked(*crossval, *trials, *mcSeed)
 }
 

@@ -35,8 +35,11 @@ func TestSimFlagValidation(t *testing.T) {
 		{"negative conc", []string{"-topo", "cmesh", "-conc", "-2"}, "concentration"},
 		{"inject outside torus", []string{"-topo", "torus", "-width", "4", "-height", "4", "-inject", "99:sa1:e"},
 			"outside the 16-node torus"},
-		{"torus rejects link faults", []string{"-topo", "torus", "-inject", "5:link:e"}, "not supported on a torus"},
-		{"torus rejects router faults", []string{"-topo", "torus", "-inject", "5:router"}, "not supported on a torus"},
+		{"torus link fault ok", []string{"-topo", "torus", "-inject", "5:link:e"}, ""},
+		{"torus router fault ok", []string{"-topo", "torus", "-inject", "5:router"}, ""},
+		{"torus wrap link fault ok", []string{"-topo", "torus", "-width", "4", "-height", "4", "-inject", "3:link:e"}, ""},
+		{"torus missing link still rejected", []string{"-topo", "torus", "-width", "4", "-height", "1", "-inject", "0:link:n"},
+			"has no N link"},
 		{"cmesh link fault ok", []string{"-topo", "cmesh", "-conc", "2", "-inject", "5:link:e"}, ""},
 	}
 	for _, tc := range cases {

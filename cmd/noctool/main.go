@@ -162,14 +162,16 @@ global flags (before the command):
 
 The simulation commands accept -topo mesh|torus|cmesh (with -conc for
 cmesh concentration) on any -width x -height router grid. Torus links
-wrap around; fault injection of whole links/routers needs a mesh or
-cmesh (minimal torus routes have no detour freedom).
+wrap around; fault injection of whole links/routers works on all three
+families (on a torus the fault-aware tables restrict wrap-link
+crossings to stay deadlock free, and wrap links are valid link-fault
+sites).
 
 sim, serve, metrics, spans and trace accept -inject with comma-separated
 fault specs <router>:<kind>[:<port>[:<vc>]], e.g. -inject 5:sa1:e,0:va1:n:2;
 kinds are rc, rcdup, va1, va2, sa1, sa1byp, sa2, xb, xbsec and ports
 l,n,e,s,w. Two network-level kinds kill whole links or routers: link
-(needs a mesh direction, e.g. 5:link:e — the link is dead both ways) and
+(needs a grid direction, e.g. 5:link:e — the link is dead both ways) and
 router (no port, e.g. 10:router). Traffic reroutes around network faults
 via deadlock-free two-layer turn-model routing; pair with -retx-timeout
 (plus -retx-retries / -retx-buffer) to recover lost packets end-to-end
@@ -209,8 +211,10 @@ func runCampaign(args []string) error {
 	trials := fs.Int("trials", 5000, "Monte-Carlo trials per design")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "designs campaigned in parallel (0 = all cores)")
-	width := fs.Int("width", 0, "mesh width for the -inject delivery campaign (0 = the study default)")
-	height := fs.Int("height", 0, "mesh height for the -inject delivery campaign (0 = the study default)")
+	width := fs.Int("width", 0, "grid width for the -inject delivery campaign (0 = the study default)")
+	height := fs.Int("height", 0, "grid height for the -inject delivery campaign (0 = the study default)")
+	topoFlag := fs.String("topo", "", "topology for the -inject delivery campaign: mesh (default), torus or cmesh")
+	conc := fs.Int("conc", 0, "cmesh concentration for the -inject delivery campaign")
 	inject := fs.String("inject", "", "comma-separated fault specs (e.g. 5:link:e,10:router): "+
 		"run the network-fault delivery campaign over these scenarios instead of the Monte-Carlo table")
 	telemetryAddr := fs.String("telemetry", "",
@@ -235,6 +239,8 @@ func runCampaign(args []string) error {
 		cfg := experiments.DefaultLinkFaultConfig()
 		cfg.Seed = *seed
 		cfg.Workers = *workers
+		cfg.Topo = *topoFlag
+		cfg.Conc = *conc
 		if *width > 0 {
 			cfg.Width = *width
 		}
@@ -253,8 +259,8 @@ func runCampaign(args []string) error {
 		fmt.Print(experiments.FormatLinkFault(experiments.LinkFaultStudy(cfg, scenarios)))
 		return nil
 	}
-	if *width > 0 || *height > 0 {
-		return fmt.Errorf("-width/-height only apply to the -inject delivery campaign")
+	if *width > 0 || *height > 0 || *topoFlag != "" || *conc > 0 {
+		return fmt.Errorf("-width/-height/-topo/-conc only apply to the -inject delivery campaign")
 	}
 	fmt.Print(experiments.FormatCampaign(experiments.CampaignTableObserved(*trials, *seed, *workers, onTrial)))
 	return nil
@@ -693,8 +699,10 @@ func runRecord(args []string) error {
 	app := fs.String("app", "fft", "workload application name (any SPLASH-2/PARSEC app)")
 	cycles := fs.Uint64("cycles", 20000, "cycles to record")
 	seed := fs.Uint64("seed", 1, "random seed")
-	width := fs.Int("width", 8, "mesh width")
-	height := fs.Int("height", 8, "mesh height")
+	width := fs.Int("width", 8, "grid width")
+	height := fs.Int("height", 8, "grid height")
+	topoFlag := fs.String("topo", "mesh", "topology: mesh, torus or cmesh")
+	conc := fs.Int("conc", 0, "cmesh concentration (terminals per router)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -704,10 +712,13 @@ func runRecord(args []string) error {
 	}
 	rc := router.DefaultConfig()
 	rc.FaultTolerant = true
-	mesh := topology.NewMesh(*width, *height)
-	src := workloads.NewCoherence(prof, mesh, *seed)
+	tp, err := topology.New(*topoFlag, *width, *height, *conc)
+	if err != nil {
+		return err
+	}
+	src := workloads.NewCoherence(prof, tp, *seed)
 	rec := tracefile.NewRecorder(src)
-	n := noc.MustNew(noc.Config{Width: *width, Height: *height, Router: rc}, rec)
+	n := noc.MustNew(noc.Config{Width: *width, Height: *height, Topo: *topoFlag, Conc: *conc, Router: rc}, rec)
 	defer n.Close()
 	n.Run(sim.Cycle(*cycles))
 	f, err := os.Create(*out)

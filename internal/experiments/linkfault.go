@@ -23,8 +23,13 @@ import (
 
 // LinkFaultConfig parameterizes the study.
 type LinkFaultConfig struct {
-	// Width and Height give the mesh.
+	// Width and Height give the router grid.
 	Width, Height int
+	// Topo selects the topology family, as noc.Config.Topo: "" or
+	// "mesh" (the default), "torus" or "cmesh". Conc is the cmesh
+	// concentration.
+	Topo string
+	Conc int
 	// Rate is the per-node offered load in packets per cycle.
 	Rate float64
 	// Warmup is the statistics warmup window.
@@ -92,12 +97,17 @@ func ScenariosFromSpecs(list string) ([]Scenario, error) {
 }
 
 // ValidateScenarios checks every scenario's fault specs against the
-// study's configured grid. ScenariosFromSpecs only checks the spec
+// study's configured topology. ScenariosFromSpecs only checks the spec
 // grammar — the dimensions live in the config — so range checking
-// happens here, and an out-of-grid router or a link spec pointing off
-// the mesh edge fails up front instead of panicking mid-campaign.
+// happens here, against the actual link table: an out-of-grid router
+// fails on any family, a link spec pointing off the mesh edge fails on
+// a mesh/cmesh, and the same spec on a torus validates because the edge
+// router's port carries a wrap link there.
 func ValidateScenarios(cfg LinkFaultConfig, scenarios []Scenario) error {
-	topo := topology.NewMesh(cfg.Width, cfg.Height)
+	topo, err := topology.New(cfg.Topo, cfg.Width, cfg.Height, cfg.Conc)
+	if err != nil {
+		return err
+	}
 	for _, sc := range scenarios {
 		ids, sites, err := fault.ParseInjections(strings.Join(sc.Specs, ","))
 		if err != nil {
@@ -105,13 +115,13 @@ func ValidateScenarios(cfg LinkFaultConfig, scenarios []Scenario) error {
 		}
 		for i, id := range ids {
 			if id < 0 || id >= topo.Nodes() {
-				return fmt.Errorf("experiments: scenario %q: router %d outside the %dx%d mesh",
-					sc.Name, id, cfg.Width, cfg.Height)
+				return fmt.Errorf("experiments: scenario %q: router %d outside the %dx%d %s",
+					sc.Name, id, cfg.Width, cfg.Height, topo.Kind())
 			}
 			if sites[i].Kind == fault.LinkDead {
 				if _, ok := topo.Neighbor(id, sites[i].Port); !ok {
-					return fmt.Errorf("experiments: scenario %q: router %d has no %s link in a %dx%d mesh",
-						sc.Name, id, sites[i].Port, cfg.Width, cfg.Height)
+					return fmt.Errorf("experiments: scenario %q: router %d has no %s link in a %dx%d %s",
+						sc.Name, id, sites[i].Port, cfg.Width, cfg.Height, topo.Kind())
 				}
 			}
 		}
@@ -145,8 +155,8 @@ func runScenario(sc Scenario, cfg LinkFaultConfig) LinkFaultPoint {
 	src := traffic.NewSynthetic(nodes, cfg.Rate, traffic.Uniform(nodes), traffic.Bimodal(1, 5, 0.6), cfg.Seed)
 	src.StopAt(cfg.Warmup + cfg.Measure)
 	n := noc.MustNew(noc.Config{
-		Width: cfg.Width, Height: cfg.Height, Router: rc,
-		Warmup: cfg.Warmup, Workers: 1, Retx: cfg.Retx,
+		Width: cfg.Width, Height: cfg.Height, Topo: cfg.Topo, Conc: cfg.Conc,
+		Router: rc, Warmup: cfg.Warmup, Workers: 1, Retx: cfg.Retx,
 	}, src)
 	defer n.Close()
 	ids, sites, err := fault.ParseInjections(strings.Join(sc.Specs, ","))

@@ -14,23 +14,30 @@ func TestValidateScenarios(t *testing.T) {
 	cases := []struct {
 		name          string
 		width, height int
+		topo          string
 		specs         string
 		wantErr       string // substring; "" means the specs validate
 	}{
-		{"in range 8x8", 8, 8, "5:link:e,10:router", ""},
-		{"in range 4x4", 4, 4, "5:link:e,0:router", ""},
-		{"router outside 4x4", 4, 4, "16:router", "router 16 outside the 4x4 mesh"},
-		{"router outside 2x2", 2, 2, "9:link:e", "router 9 outside the 2x2 mesh"},
-		{"in-range in 8x8 but not 4x4", 4, 4, "40:sa1:e", "router 40 outside the 4x4 mesh"},
-		{"link off the east edge", 4, 4, "3:link:e", "router 3 has no E link"},
-		{"link off the north edge", 4, 4, "1:link:n", "router 1 has no N link"},
-		{"in-router fault on edge router ok", 4, 4, "3:sa1:e", ""},
-		{"fault-free baseline only", 4, 4, "", ""},
+		{"in range 8x8", 8, 8, "", "5:link:e,10:router", ""},
+		{"in range 4x4", 4, 4, "", "5:link:e,0:router", ""},
+		{"router outside 4x4", 4, 4, "", "16:router", "router 16 outside the 4x4 mesh"},
+		{"router outside 2x2", 2, 2, "", "9:link:e", "router 9 outside the 2x2 mesh"},
+		{"in-range in 8x8 but not 4x4", 4, 4, "", "40:sa1:e", "router 40 outside the 4x4 mesh"},
+		{"link off the east edge", 4, 4, "", "3:link:e", "router 3 has no E link"},
+		{"link off the north edge", 4, 4, "", "1:link:n", "router 1 has no N link"},
+		{"in-router fault on edge router ok", 4, 4, "", "3:sa1:e", ""},
+		{"fault-free baseline only", 4, 4, "", "", ""},
+		// A torus's edge routers carry wrap links, so the specs that
+		// point off a mesh edge validate there.
+		{"torus wrap link east", 4, 4, "torus", "3:link:e", ""},
+		{"torus wrap link north", 4, 4, "torus", "1:link:n", ""},
+		{"torus router outside", 4, 4, "torus", "16:router", "router 16 outside the 4x4 torus"},
+		{"torus size-1 dimension has no NS links", 4, 1, "torus", "0:link:n", "router 0 has no N link in a 4x1 torus"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultLinkFaultConfig()
-			cfg.Width, cfg.Height = tc.width, tc.height
+			cfg.Width, cfg.Height, cfg.Topo = tc.width, tc.height, tc.topo
 			scenarios, err := ScenariosFromSpecs(tc.specs)
 			if err != nil {
 				t.Fatalf("ScenariosFromSpecs(%q): %v", tc.specs, err)

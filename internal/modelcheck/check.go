@@ -13,7 +13,15 @@ import (
 // stops at the first violation. This is what `noctool check` and the
 // CI tier run.
 func CheckMesh(w, h int, retx noc.RetxConfig, opt Options) ([]Result, error) {
-	base := Ring(w, h)
+	return CheckTopo("", w, h, retx, opt)
+}
+
+// CheckTopo is CheckMesh on an explicit topology family; "torus" sweeps
+// every ring link including the wraps, proving the dateline-aware
+// detour tables deadlock free and fully delivering under every single
+// fault site.
+func CheckTopo(topo string, w, h int, retx noc.RetxConfig, opt Options) ([]Result, error) {
+	base := RingOn(topo, w, h)
 	base.Retx = retx
 	var out []Result
 	for _, sc := range SingleFaultSweep(base) {

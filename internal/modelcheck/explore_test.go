@@ -54,6 +54,41 @@ func TestExploreRing2x2SingleFaultSweep(t *testing.T) {
 	}
 }
 
+// TestExploreRing2x2TorusSingleFaultSweep proves delivery and deadlock
+// freedom for the 2x2 ring on a torus under every single link fault —
+// the wrap links included — and every single router fault: the
+// exhaustive proof that the dateline-aware detour tables (routing.go's
+// wrap-link rule) are deadlock free. Static faults on the ring workload
+// never lose a packet, so retransmission stays off and the state spaces
+// stay exhaustible in seconds.
+func TestExploreRing2x2TorusSingleFaultSweep(t *testing.T) {
+	if raceEnabled {
+		t.Skip("13 exhaustive scenarios are too slow under -race (the CI modelcheck tier runs the torus sweep without the detector)")
+	}
+	if testing.Short() {
+		t.Skip("13 exhaustive scenarios; skipped in -short")
+	}
+	sweep := SingleFaultSweep(RingOn("torus", 2, 2))
+	// Fault free + 8 links (every torus node has both an E and an S
+	// ring link) + 4 routers.
+	if len(sweep) != 13 {
+		t.Fatalf("torus sweep has %d scenarios, want 13", len(sweep))
+	}
+	for _, sc := range sweep {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Explore(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != Proved {
+				t.Fatalf("verdict %v, want PROVED: %s\n%s", res.Verdict, res.Detail, FormatCounterexample(res))
+			}
+			t.Logf("%s: %d states, expected %d, %v", sc.Name, res.States, res.Expected, res.Elapsed)
+		})
+	}
+}
+
 // TestExploreRing2x2Baseline exhausts the 2x2 ring on the unprotected
 // baseline router: the deadlock-freedom and delivery proofs must hold
 // with the FT mechanisms compiled out, not just worked around.

@@ -49,8 +49,9 @@ type Packet struct {
 	Class flit.Class
 }
 
-// LinkFault names one bidirectional mesh link by (node, port), in the
-// same convention as noc.SetLinkFault.
+// LinkFault names one bidirectional network link by (node, port), in
+// the same convention as noc.SetLinkFault. On a torus this includes the
+// wrap links (e.g. East on the last column).
 type LinkFault struct {
 	Node int
 	Port topology.Port
@@ -63,8 +64,11 @@ type LinkFault struct {
 type Scenario struct {
 	// Name labels the scenario in results and sweep output.
 	Name string
-	// Width and Height are the mesh dimensions.
+	// Width and Height are the router-grid dimensions.
 	Width, Height int
+	// Topo selects the topology family, as noc.Config.Topo: "" or
+	// "mesh" (the default), "torus" or "cmesh".
+	Topo string
 	// FaultTolerant selects the protected router (true) or baseline.
 	FaultTolerant bool
 	// VCs, Classes and Depth configure every router; zero values take
@@ -93,6 +97,12 @@ type Scenario struct {
 // node sends one single-flit packet to its successor in node order, the
 // densest all-nodes-active pattern with a small packet count.
 func Ring(w, h int) Scenario {
+	return RingOn("", w, h)
+}
+
+// RingOn is Ring on an explicit topology family ("" or "mesh", "torus",
+// "cmesh"), for sweeping the same traffic pattern across families.
+func RingOn(topo string, w, h int) Scenario {
 	n := w * h
 	sc := Scenario{
 		Name:          fmt.Sprintf("ring-%dx%d", w, h),
@@ -101,19 +111,33 @@ func Ring(w, h int) Scenario {
 		FaultTolerant: true,
 		SabotageNode:  -1,
 	}
+	if topo != "" && topo != "mesh" {
+		sc.Topo = topo
+		sc.Name = fmt.Sprintf("ring-%dx%d-%s", w, h, topo)
+	}
 	for i := 0; i < n; i++ {
 		sc.Packets = append(sc.Packets, Packet{Src: i, Dst: (i + 1) % n, Size: 1})
 	}
 	return sc
 }
 
+// topology resolves the scenario's router-graph topology.
+func (sc *Scenario) topology() (topology.Topology, error) {
+	return topology.New(sc.Topo, sc.Width, sc.Height, 1)
+}
+
 // SingleFaultSweep derives from base the full single-fault family: the
-// fault-free scenario, one scenario per dead mesh link, and one per
-// dead router. Exploring every member proves the delivery claim for
-// every single network-level fault site.
+// fault-free scenario, one scenario per dead network link (on a torus
+// this includes every wrap link), and one per dead router. Exploring
+// every member proves the delivery claim for every single network-level
+// fault site. A base whose topology does not resolve is returned alone;
+// exploring it surfaces the configuration error.
 func SingleFaultSweep(base Scenario) []Scenario {
 	out := []Scenario{base}
-	m := topology.NewMesh(base.Width, base.Height)
+	m, err := base.topology()
+	if err != nil {
+		return out
+	}
 	for id := 0; id < m.Nodes(); id++ {
 		for _, p := range []topology.Port{topology.East, topology.South} {
 			if _, ok := m.Neighbor(id, p); !ok {
@@ -201,7 +225,7 @@ func (sc *Scenario) build(o *obs.Observer) (*noc.Network, *ledger, error) {
 	rc.Obs = o
 	led := &ledger{delivered: make(map[uint64]bool)}
 	n, err := noc.New(noc.Config{
-		Width: sc.Width, Height: sc.Height,
+		Width: sc.Width, Height: sc.Height, Topo: sc.Topo,
 		Router: rc, Workers: 1, Retx: sc.Retx,
 	}, led)
 	if err != nil {

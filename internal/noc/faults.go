@@ -25,19 +25,16 @@ import (
 // Routing tables are rebuilt immediately; call this from a cycle hook
 // (or before the run) so the change lands in a serial phase.
 func (n *Network) SetLinkFault(id int, p topology.Port, value bool) error {
-	if !n.hasRoutesMesh {
-		return fmt.Errorf("noc: network link faults are not supported on a %s: its minimal routes have no detour freedom", n.topo.Kind())
-	}
 	w, h := n.topo.Dims()
 	if id < 0 || id >= n.topo.Nodes() {
-		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, w, h)
+		return fmt.Errorf("noc: router %d outside %dx%d %s", id, w, h, n.topo.Kind())
 	}
 	if p < topology.North || p > topology.West {
-		return fmt.Errorf("noc: link fault port must be a mesh direction, got %v", p)
+		return fmt.Errorf("noc: link fault port must be a network direction, got %v", p)
 	}
 	nb := n.neighbor(id, p)
 	if nb < 0 {
-		return fmt.Errorf("noc: router %d has no %v link (mesh edge)", id, p)
+		return fmt.Errorf("noc: router %d has no %v link in a %dx%d %s", id, p, w, h, n.topo.Kind())
 	}
 	n.linkDead[id][p] = value
 	n.linkDead[nb][p.Opposite()] = value
@@ -45,15 +42,12 @@ func (n *Network) SetLinkFault(id int, p topology.Port, value bool) error {
 }
 
 // SetRouterFault kills (value true) or repairs (value false) router id
-// entirely: all four of its mesh links behave dead in both directions,
+// entirely: all of its network links behave dead in both directions,
 // its NI neither injects nor ejects, and no route transits it.
 func (n *Network) SetRouterFault(id int, value bool) error {
-	if !n.hasRoutesMesh {
-		return fmt.Errorf("noc: network router faults are not supported on a %s: its minimal routes have no detour freedom", n.topo.Kind())
-	}
 	w, h := n.topo.Dims()
 	if id < 0 || id >= n.topo.Nodes() {
-		return fmt.Errorf("noc: router %d outside %dx%d mesh", id, w, h)
+		return fmt.Errorf("noc: router %d outside %dx%d %s", id, w, h, n.topo.Kind())
 	}
 	n.routerDead[id] = value
 	return n.rebuildRoutes()
@@ -103,13 +97,14 @@ func (n *Network) anyNetworkFault() bool {
 
 // rebuildRoutes recomputes the fault-aware routing tables after a fault
 // change. With no network faults the tables are dropped and every router
-// reverts to its built-in XY computation, keeping the fault-free
+// reverts to its baseline route computation (built-in XY on a mesh or
+// cmesh, the dateline torusRoute on a torus), keeping the fault-free
 // simulation bit-identical to the pre-fault-model baseline.
 func (n *Network) rebuildRoutes() error {
 	if !n.anyNetworkFault() {
 		n.routes = nil
 		for _, r := range n.routers {
-			r.SetRouteFn(nil)
+			r.SetRouteFn(n.baseRoute)
 		}
 		return nil
 	}
@@ -120,7 +115,7 @@ func (n *Network) rebuildRoutes() error {
 				numLayers, cls, hi-lo)
 		}
 	}
-	n.routes = buildRoutes(n.routesMesh, n.linkDead, n.routerDead)
+	n.routes = buildRoutes(n.topo, n.linkDead, n.routerDead)
 	for _, r := range n.routers {
 		r.SetRouteFn(n.routeFor)
 	}

@@ -1,7 +1,8 @@
 // Network-level fault-tolerance suite: exhaustive single-fault
 // reachability of the two-layer turn-model routing, 100% end-to-end
 // delivery under any single link or router fault with retransmission
-// enabled, and clean termination on partitioned meshes.
+// enabled — on mesh, cmesh and torus (wrap links included) — and clean
+// termination on partitioned meshes.
 package noc_test
 
 import (
@@ -16,18 +17,29 @@ import (
 	"gonoc/internal/traffic"
 )
 
-// meshLinks enumerates each bidirectional link of a WxH mesh once, as
-// (node, port) with port in {East, South}.
-func meshLinks(m topology.Mesh) [][2]int {
+// topoLinks enumerates each bidirectional link of a topology once, as
+// (node, port) with port in {East, South}. On a torus this covers every
+// ring link exactly once, wrap links included.
+func topoLinks(tp topology.Topology) [][2]int {
 	var links [][2]int
-	for id := 0; id < m.Nodes(); id++ {
+	for id := 0; id < tp.Nodes(); id++ {
 		for _, p := range []topology.Port{topology.East, topology.South} {
-			if _, ok := m.Neighbor(id, p); ok {
+			if _, ok := tp.Neighbor(id, p); ok {
 				links = append(links, [2]int{id, int(p)})
 			}
 		}
 	}
 	return links
+}
+
+// testTopo builds the router-graph topology for a fault-suite case.
+func testTopo(t *testing.T, topo string, w, h, conc int) topology.Topology {
+	t.Helper()
+	tp, err := topology.New(topo, w, h, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
 }
 
 func newFaultNet(t *testing.T, w, h int, retx noc.RetxConfig, workers int, tr noc.Traffic) *noc.Network {
@@ -53,8 +65,9 @@ func newTopoFaultNet(t *testing.T, w, h int, topo string, conc int, retx noc.Ret
 }
 
 // faultTopologies enumerates the topology families the single-fault
-// suites must cover: the plain mesh and the concentrated mesh, whose
-// router graph routes faults over the same two-layer tables.
+// suites must cover: the plain mesh, the concentrated mesh (whose
+// router graph routes faults over the same two-layer tables), and the
+// torus (whose tables add the wrap-link dateline rule).
 var faultTopologies = []struct {
 	name string
 	topo string
@@ -62,12 +75,14 @@ var faultTopologies = []struct {
 }{
 	{name: "mesh", topo: "", conc: 0},
 	{name: "cmesh", topo: "cmesh", conc: 2},
+	{name: "torus", topo: "torus", conc: 0},
 }
 
 // TestExhaustiveSingleFaultReachability kills every link and every
-// router of a 4x4 mesh in turn and asserts the routing tables keep every
-// surviving (src, dst) pair connected — the turn model loses no
-// connectivity a single fault leaves physically intact.
+// router of a 4x4 router grid in turn — on mesh, cmesh and torus — and
+// asserts the routing tables keep every surviving (src, dst) pair
+// connected — the turn model loses no connectivity a single fault
+// leaves physically intact.
 func TestExhaustiveSingleFaultReachability(t *testing.T) {
 	for _, dim := range [][2]int{{4, 4}, {2, 2}, {4, 2}} {
 		for _, tc := range faultTopologies {
@@ -75,10 +90,11 @@ func TestExhaustiveSingleFaultReachability(t *testing.T) {
 			t.Run(fmt.Sprintf("%s-%dx%d", tc.name, w, h), func(t *testing.T) {
 				n := newTopoFaultNet(t, w, h, tc.topo, tc.conc, noc.RetxConfig{}, 1, nil)
 				defer n.Close()
-				m := n.Mesh()
+				tp := n.Topo()
+				nodes := tp.Nodes()
 				checkAllPairs := func(desc string, dead int) {
-					for src := 0; src < m.Nodes(); src++ {
-						for dst := 0; dst < m.Nodes(); dst++ {
+					for src := 0; src < nodes; src++ {
+						for dst := 0; dst < nodes; dst++ {
 							if src == dead || dst == dead {
 								continue
 							}
@@ -88,7 +104,7 @@ func TestExhaustiveSingleFaultReachability(t *testing.T) {
 						}
 					}
 				}
-				for _, lk := range meshLinks(m) {
+				for _, lk := range topoLinks(tp) {
 					id, p := lk[0], topology.Port(lk[1])
 					if err := n.SetLinkFault(id, p, true); err != nil {
 						t.Fatal(err)
@@ -98,12 +114,12 @@ func TestExhaustiveSingleFaultReachability(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				for id := 0; id < m.Nodes(); id++ {
+				for id := 0; id < nodes; id++ {
 					if err := n.SetRouterFault(id, true); err != nil {
 						t.Fatal(err)
 					}
 					checkAllPairs(fmt.Sprintf("router %d dead", id), id)
-					for other := 0; other < m.Nodes(); other++ {
+					for other := 0; other < nodes; other++ {
 						if other != id && n.Reachable(other, id) {
 							t.Errorf("router %d dead: %d -> %d reported reachable", id, other, id)
 						}
@@ -112,7 +128,7 @@ func TestExhaustiveSingleFaultReachability(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				// All faults repaired: back on the XY fast path.
+				// All faults repaired: back on the baseline fast path.
 				checkAllPairs("fault-free", -1)
 			})
 		}
@@ -137,6 +153,21 @@ func TestSetFaultValidation(t *testing.T) {
 	}
 	if err := n.SetRouterFault(99, true); err == nil {
 		t.Error("out-of-range router id accepted")
+	}
+	// On a torus the same grid-edge port carries a wrap link, so the
+	// fault must be accepted there; a size-1 dimension still has none.
+	tor := newTopoFaultNet(t, 4, 4, "torus", 0, noc.RetxConfig{}, 1, nil)
+	defer tor.Close()
+	if err := tor.SetLinkFault(0, topology.North, true); err != nil {
+		t.Errorf("torus wrap link rejected: %v", err)
+	}
+	if err := tor.SetLinkFault(0, topology.North, false); err != nil {
+		t.Error(err)
+	}
+	flatTor := newTopoFaultNet(t, 4, 1, "torus", 0, noc.RetxConfig{}, 1, nil)
+	defer flatTor.Close()
+	if err := flatTor.SetLinkFault(0, topology.North, true); err == nil {
+		t.Error("size-1 torus dimension accepted a link fault")
 	}
 	// Fault-aware routing needs two VCs per class to form its layers.
 	rc := router.DefaultConfig()
@@ -170,10 +201,11 @@ func checkFullDelivery(t *testing.T, n *noc.Network, desc string) {
 }
 
 // TestSingleLinkFaultFullDelivery kills each link of a 4x4 router grid
-// mid-run in turn, on the plain mesh and on the concentrated mesh.
-// Rerouting plus NI retransmission must deliver 100% of the offered
-// packets: the copies lost at the dying link are retransmitted over
-// surviving paths, and any duplicates are suppressed at the sinks.
+// mid-run in turn, on the plain mesh, the concentrated mesh and the
+// torus (whose link set includes the wrap links). Rerouting plus NI
+// retransmission must deliver 100% of the offered packets: the copies
+// lost at the dying link are retransmitted over surviving paths, and
+// any duplicates are suppressed at the sinks.
 func TestSingleLinkFaultFullDelivery(t *testing.T) {
 	const (
 		faultAt = 300
@@ -183,7 +215,7 @@ func TestSingleLinkFaultFullDelivery(t *testing.T) {
 	for _, tc := range faultTopologies {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			links := meshLinks(topology.NewMesh(4, 4))
+			links := topoLinks(testTopo(t, tc.topo, 4, 4, tc.conc))
 			if testing.Short() {
 				links = links[:4]
 			}
@@ -240,8 +272,9 @@ func (a *avoidNode) OnEject(p *flit.Packet, c sim.Cycle) []*flit.Packet {
 }
 
 // TestSingleRouterFaultFullDelivery kills each router of a 4x4 router
-// grid mid-run in turn — on the plain mesh and the concentrated mesh —
-// with a workload that never sources or sinks at the dying node.
+// grid mid-run in turn — on the plain mesh, the concentrated mesh and
+// the torus — with a workload that never sources or sinks at the dying
+// node.
 // Packets transiting the dead router are lost and must be recovered by
 // retransmission over detour paths: 100% delivery.
 func TestSingleRouterFaultFullDelivery(t *testing.T) {

@@ -19,8 +19,8 @@ import (
 // the surviving links, as reported by the network's own fault state
 // (LinkFaulty folds dead endpoints into dead links).
 func physConnected(n *noc.Network) [][]bool {
-	m := n.Mesh()
-	nodes := m.Nodes()
+	tp := n.Topo()
+	nodes := tp.Nodes()
 	conn := make([][]bool, nodes)
 	for src := 0; src < nodes; src++ {
 		conn[src] = make([]bool, nodes)
@@ -33,7 +33,7 @@ func physConnected(n *noc.Network) [][]bool {
 			cur := queue[0]
 			queue = queue[1:]
 			for p := topology.North; p <= topology.West; p++ {
-				nb, ok := m.Neighbor(cur, p)
+				nb, ok := tp.Neighbor(cur, p)
 				if !ok || conn[src][nb] || n.LinkFaulty(cur, p) {
 					continue
 				}
@@ -50,7 +50,7 @@ func physConnected(n *noc.Network) [][]bool {
 func checkReachableSound(t *testing.T, n *noc.Network, desc string) int {
 	t.Helper()
 	conn := physConnected(n)
-	nodes := n.Mesh().Nodes()
+	nodes := n.Topo().Nodes()
 	served := 0
 	for src := 0; src < nodes; src++ {
 		for dst := 0; dst < nodes; dst++ {
@@ -73,9 +73,8 @@ func checkReachableSound(t *testing.T, n *noc.Network, desc string) int {
 func TestMultiFaultReachableSoundness(t *testing.T) {
 	n := newFaultNet(t, 4, 4, noc.RetxConfig{}, 1, nil)
 	defer n.Close()
-	m := n.Mesh()
-	links := meshLinks(m)
-	nodes := m.Nodes()
+	links := topoLinks(n.Topo())
+	nodes := n.Topo().Nodes()
 
 	type faultOp struct {
 		set  func(bool) error
@@ -189,7 +188,7 @@ func TestMultiFaultFullDelivery(t *testing.T) {
 func TestFaultRepairSequence(t *testing.T) {
 	n := newFaultNet(t, 4, 4, noc.RetxConfig{Timeout: 250, MaxRetries: 5}, 1, nil)
 	defer n.Close()
-	nodes := n.Mesh().Nodes()
+	nodes := n.Topo().Nodes()
 	full := nodes * nodes
 
 	// Kill a link: single link fault must cost no connectivity.
@@ -259,5 +258,81 @@ func TestFaultRepairSequence(t *testing.T) {
 	}
 	if healed, fresh := run(true), run(false); healed != fresh {
 		t.Errorf("repaired network diverges from a never-faulted one:\n--- repaired ---\n%s--- fresh ---\n%s", healed, fresh)
+	}
+}
+
+// TestTorusFaultRepairSequence is TestFaultRepairSequence on a 4x4
+// torus: kill a wrap link and a router, verify the reachability oracle
+// at every step, repair both, and require a healed network to behave
+// bit-identically to a never-faulted one — which also proves repair
+// reinstalls the dateline RouteFn fast path — at workers 1, 2, 4 and 8.
+func TestTorusFaultRepairSequence(t *testing.T) {
+	n := newTopoFaultNet(t, 4, 4, "torus", 0, noc.RetxConfig{Timeout: 250, MaxRetries: 5}, 1, nil)
+	defer n.Close()
+	nodes := n.Topo().Nodes()
+	full := nodes * nodes
+
+	// Kill the row-0 wrap link (router 3 is the NE corner; its East
+	// link wraps to router 0): no connectivity may be lost.
+	if !n.Topo().Wrap(3, topology.East) {
+		t.Fatal("expected 3:E to be a wrap link on a 4x4 torus")
+	}
+	if err := n.SetLinkFault(3, topology.East, true); err != nil {
+		t.Fatal(err)
+	}
+	if served := checkReachableSound(t, n, "wrap link 3:E"); served != full {
+		t.Errorf("single wrap-link fault lost connectivity: %d of %d pairs", served, full)
+	}
+
+	// Kill a router on top: exactly the dead router's pairs disappear.
+	if err := n.SetRouterFault(10, true); err != nil {
+		t.Fatal(err)
+	}
+	want := (nodes - 1) * (nodes - 1)
+	if served := checkReachableSound(t, n, "wrap link 3:E + router 10"); served != want {
+		t.Errorf("link+router faults: %d pairs reachable, want %d", served, want)
+	}
+
+	// Repair both: full connectivity back.
+	if err := n.SetLinkFault(3, topology.East, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetRouterFault(10, false); err != nil {
+		t.Fatal(err)
+	}
+	if served := checkReachableSound(t, n, "healed"); served != full {
+		t.Errorf("after full repair: %d of %d pairs reachable", served, full)
+	}
+
+	// A torus that went through the kill/repair cycle must behave
+	// bit-identically to a fresh one, at every worker count.
+	const stop = 500
+	run := func(faultCycle bool, workers int) string {
+		src := traffic.NewSynthetic(16, 0.05, traffic.Uniform(16), traffic.FixedSize(2), 909)
+		src.StopAt(stop)
+		n := newTopoFaultNet(t, 4, 4, "torus", 0, noc.RetxConfig{Timeout: 250, MaxRetries: 5}, workers, src)
+		defer n.Close()
+		if faultCycle {
+			for _, v := range []bool{true, false} {
+				if err := n.SetLinkFault(3, topology.East, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := n.SetRouterFault(10, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n.Run(stop)
+		if !n.Drain(stop + 60000) {
+			t.Fatalf("workers=%d: did not drain: %d in flight", workers, n.Stats().InFlight())
+		}
+		checkFullDelivery(t, n, "healed torus run")
+		return n.Stats().Summary()
+	}
+	fresh := run(false, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		if healed := run(true, workers); healed != fresh {
+			t.Errorf("workers=%d: repaired torus diverges from a fresh one:\n--- repaired ---\n%s--- fresh ---\n%s", workers, healed, fresh)
+		}
 	}
 }

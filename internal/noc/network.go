@@ -74,10 +74,11 @@ type Config struct {
 	Width, Height int
 	// Topo selects the topology family: "" or "mesh" (the default),
 	// "torus" or "cmesh". A torus needs at least numLayers VCs per
-	// message class for its dateline deadlock avoidance, and does not
-	// support network-level link/router faults (SetLinkFault and
-	// SetRouterFault return an error; router-internal faults still
-	// apply).
+	// message class for its dateline deadlock avoidance; all three
+	// families support network-level link/router faults (SetLinkFault,
+	// SetRouterFault) on top of router-internal faults — on a torus
+	// the fault-aware tables restrict wrap-link crossings to keep the
+	// dateline scheme deadlock free (see routing.go).
 	Topo string
 	// Conc is the cmesh concentration (terminals per router); 0 means 1.
 	// Ignored unless Topo is "cmesh".
@@ -152,13 +153,19 @@ func DefaultConfig() Config {
 type Network struct {
 	cfg  Config
 	topo topology.Topology
-	// routesMesh is the mesh router graph network-level fault routing
-	// runs on: the mesh itself, or the cmesh's router grid.
-	// hasRoutesMesh is false for the torus, which rejects network
-	// faults (its minimal-direction routes have no turn freedom to
-	// detour with).
-	routesMesh    topology.Mesh
-	hasRoutesMesh bool
+	// mesh is the underlying mesh router grid exposed by the Mesh()
+	// accessor: the mesh itself, or the cmesh's router grid. hasMesh is
+	// false for the torus, whose wrap links make it not a mesh (use
+	// Topo() there). Fault-aware routing runs on topo directly for all
+	// families.
+	mesh    topology.Mesh
+	hasMesh bool
+
+	// baseRoute is the RouteFn installed while the network is fault
+	// free: nil for mesh/cmesh (the routers' built-in XY computation)
+	// and torusRoute for a torus. rebuildRoutes restores it when the
+	// last network fault is repaired.
+	baseRoute core.RouteFn
 
 	// ports is the per-router port count. nbr and wrap are the link
 	// tables pre-resolved at build time, indexed id*ports+p: nbr holds
@@ -348,9 +355,9 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 	}
 	switch t := topo.(type) {
 	case topology.Mesh:
-		n.routesMesh, n.hasRoutesMesh = t, true
+		n.mesh, n.hasMesh = t, true
 	case topology.CMesh:
-		n.routesMesh, n.hasRoutesMesh = t.Mesh, true
+		n.mesh, n.hasMesh = t.Mesh, true
 	}
 	n.nbr = make([]int32, nodes*ports)
 	n.wrap = make([]bool, nodes*ports)
@@ -428,8 +435,9 @@ func New(cfg Config, traffic Traffic) (*Network, error) {
 		})
 	}
 	if topo.Kind() == "torus" {
+		n.baseRoute = n.torusRoute
 		for _, r := range n.routers {
-			r.SetRouteFn(n.torusRoute)
+			r.SetRouteFn(n.baseRoute)
 		}
 	}
 	// The window ring rolls from the serial pre-phase, keeping the bucket
@@ -458,10 +466,10 @@ func (n *Network) Topo() topology.Topology { return n.topo }
 // a mesh, the router grid for a cmesh. It panics for a torus — use Topo
 // for topology-generic access.
 func (n *Network) Mesh() topology.Mesh {
-	if !n.hasRoutesMesh {
+	if !n.hasMesh {
 		panic(fmt.Sprintf("noc: Mesh() on a %s network: use Topo()", n.topo.Kind()))
 	}
-	return n.routesMesh
+	return n.mesh
 }
 
 // Router returns the router at node id.

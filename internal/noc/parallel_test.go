@@ -189,6 +189,27 @@ func conformanceCases() []confCase {
 			cycles:      stopAt,
 		},
 		{
+			name:        "tornado/ft/torus/static-net-faults+retx",
+			topo:        "torus",
+			makeTraffic: tornadoTorusTraffic(4242),
+			// 3:link:e is the row-0 wrap link, so the case exercises the
+			// fault tables' wrap-crossing restriction, not just mesh detours.
+			faults: []string{"3:link:e", "10:router"},
+			retx:   noc.RetxConfig{Timeout: 300, MaxRetries: 4},
+			cycles: stopAt,
+		},
+		{
+			name:        "uniform/ft/torus/midrun-link-faults+retx",
+			topo:        "torus",
+			makeTraffic: uniformTraffic(8086),
+			midFaults: []timedFault{
+				{at: 400, spec: "0:link:w"}, // wrap link while packets are in flight
+				{at: 900, spec: "6:link:s"},
+			},
+			retx:   noc.RetxConfig{Timeout: 300, MaxRetries: 4},
+			cycles: stopAt,
+		},
+		{
 			name:        "uniform/ft/cmesh/static-faults",
 			topo:        "cmesh",
 			conc:        2,
@@ -350,6 +371,14 @@ func TestGoldenDeterminism(t *testing.T) {
 			makeTraffic: tornadoTorusTraffic(2014),
 			faults:      []string{"5:sa1:e", "10:xb:w"},
 			faultMean:   800,
+			cycles:      stopAt,
+		},
+		{
+			name:        "golden-torus-netfaults",
+			topo:        "torus",
+			makeTraffic: tornadoTorusTraffic(2014),
+			faults:      []string{"3:link:e", "5:link:e", "10:router"},
+			retx:        noc.RetxConfig{Timeout: 300, MaxRetries: 4},
 			cycles:      stopAt,
 		},
 		{

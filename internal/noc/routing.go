@@ -7,9 +7,10 @@ import (
 // Fault-aware routing.
 //
 // When at least one network-level fault (dead link or dead router) is
-// present, the network replaces the routers' XY computation with table
-// lookups built here; with no faults the tables are dropped and routing
-// is the exact, bit-identical XY baseline.
+// present, the network replaces the routers' baseline route computation
+// with table lookups built here; with no faults the tables are dropped
+// and routing is the exact, bit-identical baseline (XY on a mesh/cmesh,
+// the dateline RouteFn of torusroute.go on a torus).
 //
 // Deadlock freedom comes from a two-layer turn model. Each message
 // class's VC range is split into two routing layers:
@@ -27,6 +28,22 @@ import (
 // a positive-first suffix, are rich enough to detour around any single
 // dead link or dead router without losing connectivity (pinned by the
 // exhaustive single-fault test).
+//
+// On a torus the wrap links add ring cycles that the turn model alone
+// does not break, so they get a dateline-aware restriction on top: a
+// packet may cross a wrap link only on its injection hop (the channel
+// is entered with no upstream channel held) or as its single free
+// 0 → 1 layer-switch hop. Within a layer, then, every wrap channel has
+// no incoming channel dependency — intra-layer dependencies run over
+// the non-wrap links only, which form exactly the W×H mesh the turn
+// model is already acyclic on — so each layer's dependency graph stays
+// acyclic and the one-way union argument above goes through unchanged.
+// Connectivity under a single fault reduces to the proven mesh case:
+// a dead wrap link leaves the whole mesh subgraph intact, and a dead
+// mesh link or router is the exhaustively-proven mesh scenario (wrap
+// hops only ever shorten paths). On a mesh or cmesh topology.Wrap is
+// identically false and the tables built here are bit-identical to the
+// pre-torus ones.
 //
 // Routing state is (node, input port, layer): the input port encodes the
 // packet's motion direction (Local means injection, which has no turn
@@ -51,7 +68,7 @@ type routeEntry struct {
 // state. It is immutable once built; SetLinkFault/SetRouterFault swap in
 // a fresh table during the serial hook phase.
 type routeTable struct {
-	mesh    topology.Mesh
+	topo    topology.Topology
 	entries [][]routeEntry // [dst][stateID]
 }
 
@@ -93,9 +110,11 @@ func turnLegal(in, out topology.Port, l, l2 int) bool {
 // buildRoutes computes the full per-destination routing tables for the
 // given fault state. Dead routers are never entered (they can neither
 // transit nor terminate traffic) and dead links carry nothing in either
-// direction.
-func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *routeTable {
-	nStates := mesh.Nodes() * statesPerNode
+// direction. Wrap (dateline) links are crossed only on injection or
+// layer-switch hops, which keeps each layer's channel-dependency graph
+// acyclic on a torus (see the package comment above).
+func buildRoutes(topo topology.Topology, linkDead [][]bool, routerDead []bool) *routeTable {
+	nStates := topo.Nodes() * statesPerNode
 
 	// Forward adjacency over routing states. It is independent of the
 	// destination, so it is built once and reversed for the BFS.
@@ -104,7 +123,7 @@ func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *rout
 		to         int32
 	}
 	adj := make([][]move, nStates)
-	for node := 0; node < mesh.Nodes(); node++ {
+	for node := 0; node < topo.Nodes(); node++ {
 		if routerDead[node] {
 			continue
 		}
@@ -115,12 +134,20 @@ func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *rout
 				}
 				s := stateID(node, in, l)
 				for out := topology.North; out <= topology.West; out++ {
-					nb, ok := mesh.Neighbor(node, out)
+					nb, ok := topo.Neighbor(node, out)
 					if !ok || linkDead[node][out] || routerDead[nb] {
 						continue
 					}
+					wrap := topo.Wrap(node, out)
 					for l2 := l; l2 < numLayers; l2++ {
 						if !turnLegal(in, out, l, l2) {
+							continue
+						}
+						if wrap && in != topology.Local && l2 == l {
+							// A wrap channel may only be entered with no
+							// upstream channel held (injection) or on the
+							// one free layer switch; an intra-layer wrap
+							// hop would close the ring's dependency cycle.
 							continue
 						}
 						adj[s] = append(adj[s], move{
@@ -139,10 +166,10 @@ func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *rout
 		}
 	}
 
-	t := &routeTable{mesh: mesh, entries: make([][]routeEntry, mesh.Nodes())}
+	t := &routeTable{topo: topo, entries: make([][]routeEntry, topo.Nodes())}
 	dist := make([]int32, nStates)
 	queue := make([]int32, 0, nStates)
-	for dst := 0; dst < mesh.Nodes(); dst++ {
+	for dst := 0; dst < topo.Nodes(); dst++ {
 		for i := range dist {
 			dist[i] = -1
 		}
@@ -172,14 +199,16 @@ func buildRoutes(mesh topology.Mesh, linkDead [][]bool, routerDead []bool) *rout
 				ents[s] = routeEntry{out: int8(topology.Local), layer: int8(s % numLayers)}
 				continue
 			}
-			// Among minimal-distance moves, prefer the port XY routing
-			// would take. Every X-then-Y path shape is realizable in the
-			// two-layer model (a positive→negative turn rides the free
-			// 0→1 layer switch), so traffic whose XY path misses the
-			// faults keeps the baseline's load balance — a single
-			// smallest-port tie-break instead funnels every tied flow
-			// onto the same links and congests the whole mesh.
-			xy := int8(mesh.RouteXY(s/statesPerNode, dst))
+			// Among minimal-distance moves, prefer the port the
+			// topology's baseline routing would take (XY on a mesh,
+			// minimal-direction DOR on a torus). Every X-then-Y path
+			// shape is realizable in the two-layer model (a
+			// positive→negative turn rides the free 0→1 layer switch),
+			// so traffic whose baseline path misses the faults keeps
+			// the baseline's load balance — a single smallest-port
+			// tie-break instead funnels every tied flow onto the same
+			// links and congests the whole network.
+			xy := int8(topo.Route(s/statesPerNode, dst))
 			best := routeEntry{out: -1}
 			bestDist := int32(-1)
 			for _, m := range adj[s] {

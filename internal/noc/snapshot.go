@@ -286,11 +286,11 @@ func (n *Network) Restore(s *Snapshot) {
 		n.stagedFlits[id] = nil
 		n.stagedCredits[id] = nil
 	}
-	if n.hasRoutesMesh && faultsChanged {
+	if faultsChanged {
 		// Rebuild (or drop) the fault-aware tables from the restored
-		// fault sets. A torus never has network faults (SetLinkFault
-		// rejects them) and must keep its dateline RouteFn, so this is
-		// gated on the mesh router graph being present.
+		// fault sets. rebuildRoutes reinstalls the topology's baseline
+		// RouteFn (nil for mesh/cmesh, the dateline torusRoute for a
+		// torus) when the restored state is fault free.
 		if err := n.rebuildRoutes(); err != nil {
 			// The snapshot came from a network that already routed this
 			// fault set, so rebuilding it cannot fail.

@@ -27,11 +27,15 @@ import (
 // routing never returns to X, so the X layer history is irrelevant).
 // Freshly injected packets (input port Local) start in layer 0.
 //
-// torusRoute is installed as every router's core.RouteFn at build time.
-// It returns the same output port as the topology's minimal-direction
-// routing — only the downstream VC range is constrained — so the
-// Reroutes counter stays zero and the flit path shapes match
-// topology.Torus.Route exactly.
+// torusRoute is installed as every router's core.RouteFn at build time
+// and whenever the network is free of link/router faults. It returns
+// the same output port as the topology's minimal-direction routing —
+// only the downstream VC range is constrained — so the Reroutes counter
+// stays zero and the flit path shapes match topology.Torus.Route
+// exactly. While network faults are present the fault-aware tables of
+// routing.go take over (with their own wrap-link dateline rule), and
+// rebuildRoutes reinstalls this fast path once the last fault is
+// repaired.
 
 // sameAxis reports whether two directional ports lie on the same
 // dimension (both X: East/West, or both Y: North/South).

@@ -78,7 +78,7 @@ func PARSEC() []App {
 // implementing noc.Traffic for one application profile.
 type Coherence struct {
 	app     App
-	mesh    topology.Mesh
+	topo    topology.Topology
 	memCtrl []int
 	streams []*rng.Stream
 	inBurst []bool
@@ -88,19 +88,21 @@ type Coherence struct {
 	Requests, Replies uint64
 }
 
-// NewCoherence builds the traffic source for app on mesh, deterministic
-// in seed. Memory controllers sit at the four mesh corners, directory
-// homes are address-interleaved across all nodes.
-func NewCoherence(app App, mesh topology.Mesh, seed uint64) *Coherence {
+// NewCoherence builds the traffic source for app on any router-grid
+// topology (mesh, torus or cmesh), deterministic in seed. Memory
+// controllers sit at the four grid corners, directory homes are
+// address-interleaved across all nodes.
+func NewCoherence(app App, topo topology.Topology, seed uint64) *Coherence {
 	root := rng.New(seed)
+	w, h := topo.Dims()
 	c := &Coherence{
 		app:  app,
-		mesh: mesh,
+		topo: topo,
 		memCtrl: []int{
-			0, mesh.W - 1, (mesh.H - 1) * mesh.W, mesh.Nodes() - 1,
+			0, w - 1, (h - 1) * w, topo.Nodes() - 1,
 		},
-		streams: make([]*rng.Stream, mesh.Nodes()),
-		inBurst: make([]bool, mesh.Nodes()),
+		streams: make([]*rng.Stream, topo.Nodes()),
+		inBurst: make([]bool, topo.Nodes()),
 	}
 	for i := range c.streams {
 		c.streams[i] = root.Split()
@@ -138,7 +140,7 @@ func (c *Coherence) home(node int, r *rng.Stream) int {
 		}
 	}
 	for {
-		d := r.Intn(c.mesh.Nodes())
+		d := r.Intn(c.topo.Nodes())
 		if d != node {
 			return d
 		}
