@@ -2,16 +2,26 @@
 //
 // Usage:
 //
-//	go run ./cmd/nocvet [-tags taglist] [-run name,name] [packages]
+//	go run ./cmd/nocvet [-tags taglist] [-run name,name] [-json] [-sarif] [-o file] [packages]
 //
-// With no packages it analyzes ./.... It prints one line per finding
+// With no packages it analyzes ./.... By default it prints one line per
+// finding
 //
 //	file:line:col: [analyzer] message
 //
 // and exits 2 when any finding (or type error) survives, so CI can gate
-// on it exactly like go vet. Findings are suppressed in place with
-// "//nocvet:ignore <analyzer> <reason>" on the offending line or the
-// line above it.
+// on it exactly like go vet. -json emits a machine-readable report
+// instead ({"findings": [...], "count": N}); -sarif emits SARIF 2.1.0
+// for code-scanning consumers. -o writes the report to a file while the
+// human-readable lines still go to stdout, which is what the CI
+// annotation step uses. Type errors are reported as findings of the
+// pseudo-analyzer "typecheck".
+//
+// Findings are suppressed in place with "//nocvet:ignore <analyzer>
+// <reason>" on the offending line or the line above it; a directive that
+// suppresses nothing is itself a finding (pseudo-analyzer "nocvet"), so
+// the -fix for a stale waiver is simply deleting the line the finding
+// points at.
 //
 // The analyzers and the rules they enforce are documented in
 // internal/analysis and in DESIGN.md's "Machine-checked invariants"
@@ -19,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,27 +42,54 @@ import (
 func main() {
 	tags := flag.String("tags", "", "build tags for package loading (comma-separated)")
 	runOnly := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of plain lines")
+	sarifOut := flag.Bool("sarif", false, "emit the report as SARIF 2.1.0 instead of plain lines")
+	outFile := flag.String("o", "", "also write the report to this file (plain lines still go to stdout)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nocvet [-tags taglist] [-run name,name] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: nocvet [-tags taglist] [-run name,name] [-json] [-sarif] [-o file] [packages]")
 		fmt.Fprintln(os.Stderr, "analyzers:")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
-	findings, err := run(os.Stdout, *tags, *runOnly, flag.Args())
+
+	diags, err := run(*tags, *runOnly, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
 		os.Exit(1)
 	}
-	if findings > 0 {
+
+	var report []byte
+	switch {
+	case *jsonOut:
+		report = jsonReport(diags)
+	case *sarifOut:
+		report = sarifReport(diags)
+	}
+	if *outFile != "" {
+		if report == nil {
+			report = jsonReport(diags)
+		}
+		if err := os.WriteFile(*outFile, report, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nocvet: %v\n", err)
+			os.Exit(1)
+		}
+		printPlain(os.Stdout, diags)
+	} else if report != nil {
+		os.Stdout.Write(report)
+	} else {
+		printPlain(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
 		os.Exit(2)
 	}
 }
 
-// run loads the packages and applies the selected analyzers, printing
-// findings to w and returning their count.
-func run(w io.Writer, tags, runOnly string, patterns []string) (int, error) {
+// run loads the packages and applies the selected analyzers as one
+// suite, so cross-package facts flow and stale suppressions surface.
+// Type errors become "typecheck" findings.
+func run(tags, runOnly string, patterns []string) ([]analysis.Diagnostic, error) {
 	analyzers := analysis.All()
 	if runOnly != "" {
 		byName := map[string]*analysis.Analyzer{}
@@ -62,7 +100,7 @@ func run(w io.Writer, tags, runOnly string, patterns []string) (int, error) {
 		for _, name := range strings.Split(runOnly, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				return 0, fmt.Errorf("unknown analyzer %q", name)
+				return nil, fmt.Errorf("unknown analyzer %q", name)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -72,26 +110,126 @@ func run(w io.Writer, tags, runOnly string, patterns []string) (int, error) {
 	}
 	root, err := analysis.ModuleRoot()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgs, err := analysis.Load(root, tags, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	findings := 0
+	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(w, "%v\n", terr)
-			findings++
-		}
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			return findings, err
-		}
-		for _, d := range diags {
-			fmt.Fprintf(w, "%s\n", d)
-			findings++
+			diags = append(diags, analysis.Diagnostic{
+				Analyzer: "typecheck",
+				Message:  terr.Error(),
+			})
 		}
 	}
-	return findings, nil
+	suite, err := analysis.RunSuite(pkgs, analyzers)
+	if err != nil {
+		return diags, err
+	}
+	return append(diags, suite...), nil
+}
+
+// printPlain writes the classic one-line-per-finding format, or the
+// NOCVET-CLEAN sentinel when there is nothing to report.
+func printPlain(w io.Writer, diags []analysis.Diagnostic) {
+	if len(diags) == 0 {
+		fmt.Fprintln(w, "NOCVET-CLEAN")
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s\n", d)
+	}
+}
+
+// jsonFinding is the -json wire format for one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport renders {"findings": [...], "count": N}.
+func jsonReport(diags []analysis.Diagnostic) []byte {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	out, _ := json.MarshalIndent(map[string]any{
+		"findings": findings,
+		"count":    len(findings),
+	}, "", "  ")
+	return append(out, '\n')
+}
+
+// sarifReport renders a minimal SARIF 2.1.0 document: one run, one rule
+// per analyzer, one result per finding.
+func sarifReport(diags []analysis.Diagnostic) []byte {
+	ruleSet := map[string]bool{}
+	var rules []map[string]any
+	addRule := func(name, doc string) {
+		if !ruleSet[name] {
+			ruleSet[name] = true
+			rules = append(rules, map[string]any{
+				"id":               name,
+				"shortDescription": map[string]any{"text": doc},
+			})
+		}
+	}
+	for _, a := range analysis.All() {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("typecheck", "the package must type-check")
+	addRule("nocvet", "suppression directives must be well-formed and live")
+
+	results := make([]map[string]any, 0, len(diags))
+	for _, d := range diags {
+		addRule(d.Analyzer, "")
+		loc := map[string]any{
+			"physicalLocation": map[string]any{
+				"artifactLocation": map[string]any{"uri": d.Pos.Filename},
+				"region": map[string]any{
+					"startLine":   max(d.Pos.Line, 1),
+					"startColumn": max(d.Pos.Column, 1),
+				},
+			},
+		}
+		results = append(results, map[string]any{
+			"ruleId":    d.Analyzer,
+			"level":     "error",
+			"message":   map[string]any{"text": d.Message},
+			"locations": []any{loc},
+		})
+	}
+	doc := map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []any{map[string]any{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":           "nocvet",
+				"informationUri": "https://example.invalid/gonoc/nocvet",
+				"rules":          rules,
+			}},
+			"results": results,
+		}},
+	}
+	out, _ := json.MarshalIndent(doc, "", "  ")
+	return append(out, '\n')
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

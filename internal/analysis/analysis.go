@@ -14,7 +14,11 @@
 // a Doc string and a Run function receiving a *Pass with the package's
 // syntax, type information and a Report sink. Porting the analyzers to
 // the real x/tools framework, should the dependency ever become
-// available, is a mechanical change.
+// available, is a mechanical change. Cross-package checks use a
+// string-keyed fact store instead of x/tools' typed facts: packages are
+// analyzed in dependency order, so a pass can read the facts its
+// dependencies exported, and an optional Finish hook runs once after
+// every package for whole-program checks (counter parity).
 //
 // # Suppression
 //
@@ -25,7 +29,9 @@
 // placed on the offending line or alone on the line directly above it.
 // The directive names exactly one analyzer; other analyzers still report
 // on that line. The reason is required — an unexplained waiver is itself
-// reported.
+// reported. In suite runs (RunSuite, which is what cmd/nocvet uses) a
+// directive that suppresses nothing is itself a finding, so waivers
+// cannot silently outlive the code they excused.
 package analysis
 
 import (
@@ -49,6 +55,11 @@ type Analyzer struct {
 	// through pass.Report. It returns an error only for internal
 	// failures, not for findings.
 	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once per suite after every package's Run
+	// completed, reporting whole-program findings from the facts the
+	// Runs recorded. Finish findings are still waivable at their line.
+	// Single-package drivers (RunAnalyzers) do not call Finish.
+	Finish func(facts *Facts, report func(Diagnostic))
 }
 
 // Pass carries one analyzed package through one analyzer.
@@ -68,8 +79,12 @@ type Pass struct {
 	PkgPath string
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
+	// Facts is the suite-wide fact store: writes made here are visible
+	// to later packages' passes and to Finish hooks. Never nil.
+	Facts *Facts
 
-	report func(Diagnostic)
+	ignores *ignoreSet
+	report  func(Diagnostic)
 }
 
 // Reportf reports a finding at pos.
@@ -79,6 +94,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Waived reports whether a //nocvet:ignore directive for this pass's
+// analyzer covers pos, marking the directive as used. Analyzers whose
+// verdicts feed cross-package facts (hotpathalloc function summaries)
+// call this at would-be findings, so a waived construct is excused
+// everywhere, not just at its own line.
+func (p *Pass) Waived(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.ignores.waive(p.Analyzer.Name, position.Filename, position.Line)
 }
 
 // Diagnostic is one finding.
@@ -96,11 +121,59 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Facts is the cross-package key/value store threaded through a suite
+// run. Keys are plain strings (analyzers prefix their own namespace,
+// e.g. "alloc:" or "derived:") so facts survive the loader's per-variant
+// re-type-checking — types.Object identities differ between variants,
+// qualified names do not.
+type Facts struct {
+	m map[string]string
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: map[string]string{}} }
+
+// Set records key = value, overwriting any previous value.
+func (f *Facts) Set(key, value string) { f.m[key] = value }
+
+// Get returns the value recorded for key.
+func (f *Facts) Get(key string) (string, bool) {
+	v, ok := f.m[key]
+	return v, ok
+}
+
+// Has reports whether key was recorded.
+func (f *Facts) Has(key string) bool {
+	_, ok := f.m[key]
+	return ok
+}
+
+// Keys returns the sorted keys beginning with prefix.
+func (f *Facts) Keys(prefix string) []string {
+	var out []string
+	for k := range f.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ignoreDirective is the parsed form of a //nocvet:ignore comment.
 type ignoreDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Position
+	fired    bool // suppressed at least one finding
+}
+
+// ignoreSet is every directive of one package, indexed for lookup and
+// retained in declaration order for unused-directive reporting.
+type ignoreSet struct {
+	byLine    map[string]map[int][]*ignoreDirective
+	all       []*ignoreDirective
+	malformed []Diagnostic
 }
 
 // IgnorePrefix is the suppression directive's comment prefix.
@@ -108,9 +181,11 @@ const IgnorePrefix = "//nocvet:ignore"
 
 // parseIgnores extracts every //nocvet:ignore directive of the files,
 // keyed by (filename, line) for both the directive's own line and, for a
-// directive standing alone on its line, the line below it.
-func parseIgnores(fset *token.FileSet, files []*ast.File) (byLine map[string]map[int][]ignoreDirective, malformed []Diagnostic) {
-	byLine = make(map[string]map[int][]ignoreDirective)
+// directive standing alone on its line, the line below it. Both slots
+// share one *ignoreDirective, so a fire through either marks the
+// directive used.
+func parseIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	s := &ignoreSet{byLine: map[string]map[int][]*ignoreDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -121,22 +196,23 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) (byLine map[string]map
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
+					s.malformed = append(s.malformed, Diagnostic{
 						Pos:      pos,
 						Analyzer: "nocvet",
 						Message:  "malformed //nocvet:ignore: want \"//nocvet:ignore <analyzer> <reason>\"",
 					})
 					continue
 				}
-				d := ignoreDirective{
+				d := &ignoreDirective{
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
 					pos:      pos,
 				}
-				m := byLine[pos.Filename]
+				s.all = append(s.all, d)
+				m := s.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]ignoreDirective)
-					byLine[pos.Filename] = m
+					m = map[int][]*ignoreDirective{}
+					s.byLine[pos.Filename] = m
 				}
 				// The directive covers its own line (trailing form) and
 				// the line below it (standalone form).
@@ -145,14 +221,28 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) (byLine map[string]map
 			}
 		}
 	}
-	return byLine, malformed
+	return s
 }
 
-// RunAnalyzers executes the analyzers over the package and returns the
-// surviving findings: //nocvet:ignore-suppressed findings are dropped,
-// and malformed directives are themselves reported. Findings are sorted
-// by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// waive reports whether a directive for analyzer covers (file, line),
+// marking it used.
+func (s *ignoreSet) waive(analyzer, file string, line int) bool {
+	if s == nil {
+		return false
+	}
+	for _, d := range s.byLine[file][line] {
+		if d.analyzer == analyzer {
+			d.fired = true
+			return true
+		}
+	}
+	return false
+}
+
+// runOn executes the analyzers over one package, dropping suppressed
+// findings (which marks the covering directives used) and appending the
+// package's malformed directives. The result is unsorted.
+func runOn(pkg *Package, analyzers []*Analyzer, facts *Facts, ignores *ignoreSet) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -162,22 +252,95 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			PkgPath:   pkg.PkgPath,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
+			ignores:   ignores,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
-	ignores, malformed := parseIgnores(pkg.Fset, pkg.Files)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !suppressed(ignores, d) {
+		if !ignores.waive(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
 			kept = append(kept, d)
 		}
 	}
-	kept = append(kept, malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	return append(kept, ignores.malformed...), nil
+}
+
+// RunAnalyzers executes the analyzers over a single package and returns
+// the surviving findings: //nocvet:ignore-suppressed findings are
+// dropped, and malformed directives are themselves reported. Findings
+// are sorted by position. Finish hooks and unused-directive reporting
+// need whole-suite context and run only under RunSuite.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := runOn(pkg, analyzers, NewFacts(), parseIgnores(pkg.Fset, pkg.Files))
+	if err != nil {
+		return nil, err
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunSuite executes the analyzers over every package — in the order
+// given, which Load guarantees is dependency order, so facts flow from
+// dependencies to dependents — then runs each analyzer's Finish hook,
+// and finally reports every unused //nocvet:ignore directive naming an
+// analyzer in the run set: a waiver that suppresses nothing is stale and
+// must be deleted. Findings are sorted by position.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
+	var diags []Diagnostic
+	var sets []*ignoreSet
+	for _, pkg := range pkgs {
+		ig := parseIgnores(pkg.Fset, pkg.Files)
+		sets = append(sets, ig)
+		d, err := runOn(pkg, analyzers, facts, ig)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, d...)
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(facts, func(d Diagnostic) {
+			d.Analyzer = name
+			for _, s := range sets {
+				if s.waive(name, d.Pos.Filename, d.Pos.Line) {
+					return
+				}
+			}
+			diags = append(diags, d)
+		})
+	}
+	inRun := map[string]bool{}
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
+	for _, s := range sets {
+		for _, dir := range s.all {
+			if inRun[dir.analyzer] && !dir.fired {
+				diags = append(diags, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "nocvet",
+					Message: fmt.Sprintf("unused //nocvet:ignore %s directive: no %s finding on this line or the next — delete it",
+						dir.analyzer, dir.analyzer),
+				})
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// sortDiags orders findings by position, then analyzer.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -189,16 +352,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept, nil
-}
-
-// suppressed reports whether an ignore directive for d's analyzer covers
-// d's line.
-func suppressed(ignores map[string]map[int][]ignoreDirective, d Diagnostic) bool {
-	for _, dir := range ignores[d.Pos.Filename][d.Pos.Line] {
-		if dir.analyzer == d.Analyzer {
-			return true
-		}
-	}
-	return false
 }

@@ -27,7 +27,8 @@ func a() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	byLine, malformed := parseIgnores(fset, []*ast.File{f})
+	set := parseIgnores(fset, []*ast.File{f})
+	malformed := set.malformed
 	if len(malformed) != 1 {
 		t.Fatalf("malformed directives: got %d, want 1 (%v)", len(malformed), malformed)
 	}
@@ -39,7 +40,7 @@ func a() {
 	}
 
 	covers := func(line int, analyzer string) bool {
-		for _, d := range byLine["ignore.go"][line] {
+		for _, d := range set.byLine["ignore.go"][line] {
 			if d.analyzer == analyzer {
 				return true
 			}

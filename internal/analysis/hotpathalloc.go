@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc turns the AllocsPerRun==0 benchmark pin into a static
+// proof.
+//
+// PR 6's scale-out contract says the steady-state step loop allocates
+// nothing: BenchmarkStep's TestStepZeroAllocSteadyState pins
+// AllocsPerRun to zero. But a benchmark only sees the paths its traffic
+// pattern exercises; a fresh allocation on a rare branch (a fault
+// branch, a particular VC state) survives until a profile regresses. The
+// analyzer makes the contract structural: functions marked
+// //noc:hot-path are roots, and every function statically reachable from
+// a root must be free of allocation-inducing constructs:
+//
+//   - make with a non-constant size, and make of maps/channels
+//   - growing append — append whose target differs from its source;
+//     self-append (x = append(x, ...) / x = append(x[:0], ...)) is the
+//     sanctioned pre-capped-buffer idiom and is allowed
+//   - slice, map and &-composite literals (plain value struct literals
+//     stay on the stack and are allowed)
+//   - function literals (closure capture) and go statements
+//   - string concatenation and string<->slice conversions
+//   - interface boxing: passing, assigning or returning a non-pointer
+//     concrete value as an interface
+//   - map iteration (hidden iterator, and nondeterministic order)
+//   - dynamic calls — function values and interface methods — which the
+//     analyzer cannot see through; waive the call if every dynamic
+//     target is known clean
+//   - calls into allocation-heavy stdlib packages (fmt, strings,
+//     sort, ...); other stdlib calls (sync, sync/atomic, math) are
+//     assumed clean
+//
+// Arguments to panic are exempt: a panicking simulator is already dead,
+// so its diagnostics may allocate.
+//
+// Verdicts propagate: each function's transitive summary ("clean" or the
+// first offense with its location) is exported as an "alloc:" fact, so a
+// hot-path root in internal/noc proves the internal/core and
+// internal/obs functions it calls, not just its own body. Findings are
+// reported at the offending construct with the root that reaches it.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "prove functions reachable from //noc:hot-path roots contain no allocation-inducing constructs",
+	Run:  runHotPathAlloc,
+}
+
+// allocOffense is one allocation-inducing construct.
+type allocOffense struct {
+	pos    token.Pos
+	detail string
+}
+
+// allocEdge is one static in-package call.
+type allocEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// allocFuncInfo accumulates one function's own offenses and call edges.
+type allocFuncInfo struct {
+	decl *ast.FuncDecl
+	name string
+	own  []allocOffense
+	out  []allocEdge
+}
+
+// allocStdlibDeny lists stdlib packages whose entry points allocate as a
+// matter of course. Calls into any other non-gonoc package are assumed
+// allocation-free (sync, sync/atomic, math, math/bits, ...).
+var allocStdlibDeny = map[string]bool{
+	"bytes": true, "errors": true, "fmt": true, "io": true,
+	"log": true, "os": true, "reflect": true, "regexp": true,
+	"sort": true, "strconv": true, "strings": true,
+}
+
+func allocDeniedStdlib(path string) bool {
+	return allocStdlibDeny[path] || strings.HasPrefix(path, "encoding/")
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	if strings.HasSuffix(pass.PkgPath, "_test") {
+		return nil
+	}
+
+	infos := map[*types.Func]*allocFuncInfo{}
+	var order []*types.Func // declaration order, for deterministic facts
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &allocFuncInfo{decl: fd, name: fd.Name.Name}
+			if fd.Recv != nil {
+				info.name = recvTypeName(fd) + "." + fd.Name.Name
+			}
+			infos[obj] = info
+			order = append(order, obj)
+		}
+	}
+	for obj, info := range infos {
+		scanAllocBody(pass, obj, info, infos)
+	}
+
+	// Transitive summaries: a function is clean iff its own body and
+	// every in-package callee is clean. Cycles resolve optimistically —
+	// the offense, if any, is attributed to the function that owns it.
+	memo := map[*types.Func]*allocOffense{}
+	state := map[*types.Func]int{} // 0 new, 1 visiting, 2 done
+	var summarize func(fn *types.Func) *allocOffense
+	summarize = func(fn *types.Func) *allocOffense {
+		if state[fn] == 2 {
+			return memo[fn]
+		}
+		if state[fn] == 1 {
+			return nil
+		}
+		state[fn] = 1
+		info := infos[fn]
+		var verdict *allocOffense
+		if len(info.own) > 0 {
+			verdict = &info.own[0]
+		} else {
+			for _, e := range info.out {
+				if sub := summarize(e.callee); sub != nil {
+					verdict = &allocOffense{pos: e.pos, detail: fmt.Sprintf(
+						"call to %s which is not allocation-free (%s: %s)",
+						infos[e.callee].name, pass.Fset.Position(sub.pos), sub.detail)}
+					break
+				}
+			}
+		}
+		state[fn] = 2
+		memo[fn] = verdict
+		return verdict
+	}
+	for _, fn := range order {
+		if v := summarize(fn); v != nil {
+			pos := pass.Fset.Position(v.pos)
+			pass.Facts.Set("alloc:"+fn.FullName(), fmt.Sprintf("%s: %s", pos, v.detail))
+		} else {
+			pass.Facts.Set("alloc:"+fn.FullName(), "clean")
+		}
+	}
+
+	// Report: walk reachability from each marked root and surface every
+	// reached function's own offenses, each exactly once.
+	roots := markedFuncs(pass, MarkerHotPath)
+	var rootOrder []*types.Func
+	for fn := range roots {
+		if _, ok := infos[fn]; ok {
+			rootOrder = append(rootOrder, fn)
+		}
+	}
+	sort.Slice(rootOrder, func(i, j int) bool { return rootOrder[i].Pos() < rootOrder[j].Pos() })
+	reported := map[*types.Func]bool{}
+	type reachedFunc struct {
+		fn   *types.Func
+		root *types.Func
+	}
+	var reached []reachedFunc
+	for _, root := range rootOrder {
+		stack := []*types.Func{root}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reported[fn] {
+				continue
+			}
+			reported[fn] = true
+			reached = append(reached, reachedFunc{fn, root})
+			for _, e := range infos[fn].out {
+				stack = append(stack, e.callee)
+			}
+		}
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].fn.Pos() < reached[j].fn.Pos() })
+	for _, r := range reached {
+		info := infos[r.fn]
+		for _, o := range info.own {
+			where := info.name
+			if r.fn != r.root {
+				where = fmt.Sprintf("%s, reachable from //noc:hot-path root %s", info.name, infos[r.root].name)
+			}
+			pass.Reportf(o.pos, "%s (in %s)", o.detail, where)
+		}
+	}
+	return nil
+}
+
+// recvTypeName extracts the receiver's type name for display.
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// scanAllocBody walks one function body collecting allocation offenses
+// and static call edges. Offenses covered by a //nocvet:ignore directive
+// are consumed here — before they reach summaries — so a waived
+// construct is excused in every caller, not just at its own line.
+func scanAllocBody(pass *Pass, fn *types.Func, info *allocFuncInfo, infos map[*types.Func]*allocFuncInfo) {
+	res := fn.Type().(*types.Signature).Results()
+	offend := func(pos token.Pos, format string, args ...any) {
+		if pass.Waived(pos) {
+			return
+		}
+		info.own = append(info.own, allocOffense{pos: pos, detail: fmt.Sprintf(format, args...)})
+	}
+	selfAppendOK := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return scanAllocCall(pass, n, info, infos, offend, selfAppendOK)
+		case *ast.FuncLit:
+			offend(n.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				offend(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				offend(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					offend(n.Pos(), "&composite-literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n)) && !isConstExpr(pass.TypesInfo, n) {
+				offend(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Map); ok {
+				offend(n.Pos(), "map iteration in the hot path (hidden iterator, nondeterministic order)")
+			}
+		case *ast.GoStmt:
+			offend(n.Pos(), "go statement allocates a goroutine")
+		case *ast.AssignStmt:
+			scanAllocAssign(pass, n, offend, selfAppendOK)
+		case *ast.ReturnStmt:
+			if res != nil && len(n.Results) == res.Len() {
+				for i, e := range n.Results {
+					checkBoxing(pass, e, res.At(i).Type(), "returning", offend)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanAllocAssign handles the two assignment-specific checks: blessing
+// self-appends and flagging interface boxing on plain assignments.
+func scanAllocAssign(pass *Pass, n *ast.AssignStmt, offend func(token.Pos, string, ...any), selfAppendOK map[*ast.CallExpr]bool) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinCall(pass.TypesInfo, call, "append") && len(call.Args) > 0 {
+				src := call.Args[0]
+				if s, ok := src.(*ast.SliceExpr); ok {
+					src = s.X
+				}
+				if types.ExprString(n.Lhs[i]) == types.ExprString(src) {
+					selfAppendOK[call] = true
+				}
+			}
+			if n.Tok == token.ASSIGN {
+				lt := pass.TypesInfo.TypeOf(n.Lhs[i])
+				if lt != nil {
+					checkBoxing(pass, rhs, lt, "assigning", offend)
+				}
+			}
+		}
+	}
+}
+
+// scanAllocCall classifies one call expression. The return value is the
+// "descend into children" answer for ast.Inspect: panic arguments are
+// exempt and not descended into.
+func scanAllocCall(pass *Pass, call *ast.CallExpr, info *allocFuncInfo, infos map[*types.Func]*allocFuncInfo,
+	offend func(token.Pos, string, ...any), selfAppendOK map[*ast.CallExpr]bool) bool {
+
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() { // conversion
+		to := pass.TypesInfo.TypeOf(call.Fun)
+		from := pass.TypesInfo.TypeOf(call.Args[0])
+		if isStringSliceConv(to, from) {
+			offend(call.Pos(), "%s -> %s conversion allocates", types.TypeString(from, nil), types.TypeString(to, nil))
+		}
+		return true
+	}
+	if ok && tv.IsBuiltin() {
+		name := builtinName(call.Fun)
+		switch name {
+		case "panic":
+			return false // a dying simulator may allocate its diagnostics
+		case "append":
+			if !selfAppendOK[call] {
+				offend(call.Pos(), "append into a different slice allocates: only self-append (x = append(x, ...), x = append(x[:0], ...)) is the sanctioned pre-capped-buffer idiom")
+			}
+		case "make":
+			switch pass.TypesInfo.TypeOf(call).Underlying().(type) {
+			case *types.Map:
+				offend(call.Pos(), "make(map) allocates")
+			case *types.Chan:
+				offend(call.Pos(), "make(chan) allocates")
+			default:
+				for _, arg := range call.Args[1:] {
+					if !isConstExpr(pass.TypesInfo, arg) {
+						offend(call.Pos(), "make with non-constant size allocates")
+						break
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		offend(call.Pos(), "dynamic call through a function value cannot be proven allocation-free")
+		return true
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			offend(call.Pos(), "dynamic dispatch through interface method %s cannot be proven allocation-free", callee.Name())
+			return true
+		}
+		checkCallBoxing(pass, call, sig, offend)
+	}
+	switch {
+	case callee.Pkg() == nil:
+		// universe-scope (error.Error on unnamed types etc.): ignore
+	case callee.Pkg() == pass.Pkg:
+		if _, ok := infos[callee]; ok {
+			info.out = append(info.out, allocEdge{callee: callee, pos: call.Pos()})
+		}
+	case strings.HasPrefix(callee.Pkg().Path(), "gonoc/"):
+		if v, ok := pass.Facts.Get("alloc:" + callee.FullName()); ok {
+			if v != "clean" {
+				offend(call.Pos(), "call to %s which is not allocation-free (%s)", callee.FullName(), v)
+			}
+		} else {
+			// No fact means the dependency was not analyzed in this run
+			// (partial load, single-package fixture mode): assume clean,
+			// but consume any waiver on the call so a directive that
+			// fires in whole-tree runs is not reported stale here.
+			pass.Waived(call.Pos())
+		}
+	default:
+		if allocDeniedStdlib(callee.Pkg().Path()) {
+			offend(call.Pos(), "call into %s (allocating stdlib package)", callee.Pkg().Path())
+		}
+	}
+	return true
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters.
+func checkCallBoxing(pass *Pass, call *ast.CallExpr, sig *types.Signature, offend func(token.Pos, string, ...any)) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, arg, pt, "passing", offend)
+	}
+}
+
+// checkBoxing flags converting a non-pointer-shaped concrete value into
+// an interface: that conversion heap-allocates the value's box. Pointer,
+// map, chan and func values are stored in the interface word directly.
+func checkBoxing(pass *Pass, expr ast.Expr, target types.Type, verb string, offend func(token.Pos, string, ...any)) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	et := pass.TypesInfo.TypeOf(expr)
+	if et == nil || types.IsInterface(et.Underlying()) {
+		return
+	}
+	if et == types.Typ[types.UntypedNil] {
+		return
+	}
+	if b, ok := et.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch et.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return
+	}
+	offend(expr.Pos(), "%s %s as %s boxes the value on the heap", verb, types.TypeString(et, nil), types.TypeString(target, nil))
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsBuiltin() && builtinName(call.Fun) == name
+}
+
+// builtinName unwraps the identifier naming a builtin in call position.
+func builtinName(fun ast.Expr) string {
+	if p, ok := fun.(*ast.ParenExpr); ok {
+		return builtinName(p.X)
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the type-checker folded expr to a constant.
+func isConstExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// isStringSliceConv reports whether the conversion crosses the
+// string/slice boundary (string([]byte), []byte(s), []rune(s), ...),
+// which copies and therefore allocates.
+func isStringSliceConv(to, from types.Type) bool {
+	_, toSlice := to.Underlying().(*types.Slice)
+	_, fromSlice := from.Underlying().(*types.Slice)
+	return (isStringType(to) && fromSlice) || (toSlice && isStringType(from))
+}

@@ -28,6 +28,16 @@ const (
 	// credit-mutation surface: credit-counter arithmetic is legal only
 	// inside marked functions.
 	MarkerCreditAccessor = "//noc:credit-accessor"
+	// MarkerHotPath marks a steady-state hot-path root: the function and
+	// everything statically reachable from it must be free of
+	// allocation-inducing constructs (hotpathalloc).
+	MarkerHotPath = "//noc:hot-path"
+	// MarkerDerived marks a struct field as deliberately outside part or
+	// all of the Save/Restore/AppendCanonical snapshot triple. It takes a
+	// mandatory reason: "//noc:derived <reason>" — recomputed on restore,
+	// immutable configuration, per-cycle scratch, observational-only, or
+	// covered through accessors (snapshotcomplete).
+	MarkerDerived = "//noc:derived"
 )
 
 // hasMarker reports whether the comment group contains the marker on a
@@ -42,6 +52,26 @@ func hasMarker(doc *ast.CommentGroup, marker string) bool {
 		}
 	}
 	return false
+}
+
+// markerReason extracts a reason-carrying marker from the comment group:
+// a line of the form "<marker> <reason>" (or a bare "<marker>", which is
+// malformed for markers requiring a reason). found reports the marker's
+// presence; reason is the trailing text, possibly empty.
+func markerReason(doc *ast.CommentGroup, marker string) (reason string, found bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker {
+			return "", true
+		}
+		if strings.HasPrefix(text, marker+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, marker)), true
+		}
+	}
+	return "", false
 }
 
 // funcHasMarker reports whether the function declaration carries the

@@ -1,6 +1,17 @@
 package analysis
 
-// All returns the nocvet analyzer suite in reporting order.
+// All returns the nocvet analyzer suite in reporting order: the four
+// concurrency/determinism analyzers from PR 5, plus the three scale-out
+// contract provers (snapshot completeness, hot-path allocation freedom,
+// counter parity).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, PhaseSafety, ObsGuard, CreditFlow}
+	return []*Analyzer{
+		Determinism,
+		PhaseSafety,
+		ObsGuard,
+		CreditFlow,
+		SnapshotComplete,
+		HotPathAlloc,
+		CounterParity,
+	}
 }

@@ -1,0 +1,60 @@
+// Fixture: a consistent counter space. Names arrays match the sentinel
+// counts, every non-fault Kind has a Stage case, and the KStall* block
+// is contiguous and exactly numStallKinds long.
+package obs
+
+// Kind enumerates the counters.
+type Kind int
+
+const (
+	KAlpha Kind = iota
+	KStallOne
+	KStallTwo
+	KFaultDropped
+	numKinds
+)
+
+// Stage groups counters by pipeline stage.
+type Stage int
+
+const (
+	StageCompute Stage = iota
+	StageFault
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := [...]string{"alpha", "stall.one", "stall.two", "fault.dropped"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "kind(?)"
+}
+
+// Stage classifies the counter.
+func (k Kind) Stage() Stage {
+	switch k {
+	case KAlpha, KStallOne, KStallTwo:
+		return StageCompute
+	default:
+		return StageFault
+	}
+}
+
+// StallKind enumerates stall causes.
+type StallKind int
+
+const (
+	StallOne StallKind = iota
+	StallTwo
+	numStallKinds
+)
+
+// String implements fmt.Stringer.
+func (k StallKind) String() string {
+	names := [...]string{"credit", "xbar"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "stall(?)"
+}

@@ -1,0 +1,65 @@
+// Fixture: counter-space drift inside an obs-shaped package. KBeta is
+// missing from Stage() (and "beta" is not a fault.* name, so the default
+// does not excuse it); the KStall* block has three members against a
+// numStallKinds of two; and the StallKind names array is short.
+// KFaultDropped has no Stage case either, but its exported name starts
+// with "fault." so the StageFault default is its home.
+package obs
+
+// Kind enumerates the counters.
+type Kind int
+
+const (
+	KAlpha Kind = iota
+	KBeta     // want `Kind KBeta is not classified in Stage\(\)`
+	KStallOne // want `found 3 KStall\* Kind constants but numStallKinds is 2`
+	KStallTwo
+	KStallThree
+	KFaultDropped
+	numKinds
+)
+
+// Stage groups counters by pipeline stage.
+type Stage int
+
+const (
+	StageCompute Stage = iota
+	StageFault
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := [...]string{"alpha", "beta", "stall.one", "stall.two", "stall.three", "fault.dropped"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "kind(?)"
+}
+
+// Stage classifies the counter.
+func (k Kind) Stage() Stage {
+	switch k {
+	case KAlpha, KStallOne, KStallTwo, KStallThree:
+		return StageCompute
+	default:
+		return StageFault
+	}
+}
+
+// StallKind enumerates stall causes.
+type StallKind int
+
+const (
+	StallOne StallKind = iota
+	StallTwo
+	numStallKinds
+)
+
+// String implements fmt.Stringer.
+func (k StallKind) String() string {
+	names := [...]string{"one"} // want `StallKind String\(\) names array has 1 entries but numStallKinds is 2`
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "stall(?)"
+}

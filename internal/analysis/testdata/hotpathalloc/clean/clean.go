@@ -1,0 +1,38 @@
+// Fixture: the sanctioned hot-path idioms. Self-append into pre-capped
+// buffers, value struct literals, constant-size make outside the hot
+// path, and allocating diagnostics guarded behind panic all pass.
+package core
+
+import "strconv"
+
+const depth = 8
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+// newRing allocates freely: constructors are not hot-path roots.
+func newRing() *ring {
+	return &ring{buf: make([]int, 0, depth)}
+}
+
+//noc:hot-path
+func (r *ring) tick() {
+	r.buf = r.buf[:0]
+	r.buf = append(r.buf, r.n)
+	r.buf = append(r.buf[:0], r.buf...)
+	local := ring{n: 1} // value struct literal stays on the stack
+	r.n += local.n
+	r.advance()
+	if r.n > depth*depth {
+		panic(badState(r.n)) // exempt: a dying simulator may allocate
+	}
+}
+
+func (r *ring) advance() { r.n++ }
+
+// badState allocates, but only panic arguments reach it.
+func badState(n int) string {
+	return "ring out of range: " + strconv.Itoa(n)
+}

@@ -1,0 +1,58 @@
+// Fixture: the allocation-inducing construct catalogue under a
+// //noc:hot-path root, including a transitive offense (helper/box are
+// clean to call but not to run) and the panic exemption. cold is
+// unreachable from any root, so its map literal is not reported.
+package core
+
+import "strings"
+
+type doer interface{ Do() }
+
+type ring struct {
+	buf  []int
+	m    map[string]int
+	sink any
+	fn   func() int
+	d    doer
+}
+
+//noc:hot-path
+func (r *ring) tick(n int, name string) {
+	if n < 0 {
+		panic(strings.Repeat(name, 2)) // panic args are exempt
+	}
+	r.buf = append(r.buf[:0], r.buf...) // self-append: allowed
+	r.buf = make([]int, n)              // want `make with non-constant size allocates`
+	tmp := []int{1, 2}                  // want `slice literal allocates`
+	r.buf = append(tmp, 3)              // want `append into a different slice allocates`
+	r.fn = func() int { return n }      // want `function literal allocates a closure`
+	r.sink = n                          // want `assigning int as .* boxes the value on the heap`
+	for k := range r.m {                // want `map iteration in the hot path`
+		_ = k
+	}
+	s := name + "!" // want `string concatenation allocates`
+	b := []byte(s)  // want `string -> \[\]byte conversion allocates`
+	_ = b
+	_ = r.fn()  // want `dynamic call through a function value`
+	r.d.Do()    // want `dynamic dispatch through interface method Do`
+	go r.noop() // want `go statement allocates a goroutine`
+	_ = strings.Repeat(s, 2) // want `call into strings \(allocating stdlib package\)`
+	p := &ring{} // want `&composite-literal escapes to the heap`
+	_ = p
+	r.helper()
+	_ = box(n)
+}
+
+func (r *ring) helper() {
+	r.m = make(map[string]int) // want `make\(map\) allocates \(in ring.helper, reachable from //noc:hot-path root ring.tick\)`
+}
+
+func (r *ring) noop() {}
+
+func box(v int) any {
+	return v // want `returning int as .* boxes the value on the heap \(in box, reachable from //noc:hot-path root ring.tick\)`
+}
+
+func cold() map[string]int {
+	return map[string]int{"a": 1} // no root reaches cold: not reported
+}

@@ -1,0 +1,28 @@
+// Fixture: the accessor-completeness mode for state-component packages.
+// The snapshot triple reaches vc/arbiter/crossbar state only through
+// exported functions, so every unexported field needs an exported reader
+// and an exported writer (or a //noc:derived marker).
+package vc
+
+type VC struct {
+	Index int // exported: checked by the owning triple, not here
+
+	covered   int
+	writeOnly int // want `unexported field writeOnly of gonoc/internal/vc.VC is never read by an exported function`
+	readOnly  int // want `unexported field readOnly of gonoc/internal/vc.VC is never written by an exported function`
+	orphan    int // want `unexported field orphan of gonoc/internal/vc.VC is never read or written by an exported function`
+	//noc:derived immutable configuration, fixed at construction
+	depth int
+}
+
+// NewVC writes covered and writeOnly through composite-literal keys.
+func NewVC(c int) *VC {
+	return &VC{covered: c, writeOnly: c, depth: 8}
+}
+
+// Covered reads covered back; readOnly and depth are read here too, but
+// readOnly has no exported writer and orphan appears nowhere.
+func (v *VC) Covered() int { return v.covered + v.readOnly + v.depth }
+
+// internal helpers do not count as accessor surface.
+func (v *VC) touch() { v.orphan++ }

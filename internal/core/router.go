@@ -114,9 +114,11 @@ type Counters struct {
 // paper's fault-tolerant design, selected by Config.FaultTolerant.
 type Router struct {
 	// ID is the router's node id in the mesh.
+	//noc:derived immutable identity, fixed at construction
 	ID int
 
-	cfg  router.Config
+	cfg router.Config
+	//noc:derived immutable configuration, fixed at construction
 	topo topology.Topology
 
 	in []*vc.InputPort
@@ -134,10 +136,12 @@ type Router struct {
 
 	grants []grant
 
-	inFlits    []router.InFlit
-	inCredits  []CreditIn
-	outFlits   []router.OutFlit
-	outCredits []router.Credit
+	// The I/O latches are empty at the step boundary where snapshots are
+	// taken; RestoreState clears them rather than restoring contents.
+	inFlits    []router.InFlit  //noc:derived I/O latch, empty at the step boundary
+	inCredits  []CreditIn       //noc:derived I/O latch, empty at the step boundary
+	outFlits   []router.OutFlit //noc:derived I/O latch, empty at the step boundary
+	outCredits []router.Credit  //noc:derived I/O latch, empty at the step boundary
 
 	// rcScan is the per-port round-robin pointer for the (single) RC unit
 	// serving at most one VC per cycle.
@@ -156,25 +160,32 @@ type Router struct {
 
 	// va2req collects stage-2 VA requests: va2req[outPort][dvc] lists
 	// flat input-VC indices (p*V + v). Reused across cycles.
+	//noc:derived per-cycle scratch, rebuilt from empty every Tick
 	va2req [][][]int
+	//noc:derived per-cycle scratch, rebuilt from empty every Tick
 	reqBuf []bool // scratch request vector, len = Ports*VCs
 	// saWinners is the switch allocator's per-port scratch buffer,
 	// reused every cycle so the steady-state Tick allocates nothing.
+	//noc:derived per-cycle scratch, rebuilt from empty every Tick
 	saWinners []saWinner
 
 	// routeFn, when non-nil, replaces the RC units' XY computation with a
 	// network-level fault-aware function (see RouteFn).
+	//noc:derived immutable wiring, installed at network construction
 	routeFn RouteFn
 	// droppedPkts collects packets whose destination routing declared
 	// unreachable this cycle; the network drains them via TakeDropped.
+	//noc:derived per-cycle scratch, drained by the network before the step boundary
 	droppedPkts []*flit.Packet
 
 	// Counters tallies mechanism activity.
+	//noc:derived observational only: saved and restored, but excluded from the canonical encoding because counters never feed back into arbitration
 	Counters Counters
 
 	// obs is the pre-bound observability handle (nil when disabled, the
 	// default); every instrumentation site guards on it with one nil
 	// check so the disabled hot path stays allocation-free.
+	//noc:derived immutable wiring, bound at network construction; observational only
 	obs *obs.RouterObs
 
 	// stallSkip marks, per flat input-VC index p*VCs+v, that the VC
@@ -182,6 +193,7 @@ type Router struct {
 	// scan. Bits are set only on the obs-enabled path (inside existing
 	// nil-guarded blocks) and cleared by the scan itself, so the
 	// disabled hot path never touches it.
+	//noc:derived per-cycle scratch, cleared by the end-of-tick stall scan; observational only
 	stallSkip []bool
 }
 

@@ -132,6 +132,7 @@ func (r *Router) SaveState(cloneFlit func(*flit.Flit) *flit.Flit) *RouterState {
 		s.sa1ArbFault[p] = b.Arb.Faulty()
 		s.sa1BypFault[p] = b.BypassFaulty()
 		s.sa2Prio[p] = r.sa.Stage2(p).Prio()
+		s.sa2Faulty[p] = r.sa.Stage2(p).Faulty()
 		s.rcFaulty[p][0] = r.rc[p].Faulty(0)
 		if r.cfg.FaultTolerant {
 			s.rcFaulty[p][1] = r.rc[p].Faulty(1)
@@ -167,6 +168,9 @@ func saveVC(v *vc.VC, cloneFlit func(*flit.Flit) *flit.Flit) vcState {
 // from again. The router's I/O latches are cleared — the caller must
 // restore at a network step boundary, where they are empty anyway.
 func (r *Router) RestoreState(s *RouterState, cloneFlit func(*flit.Flit) *flit.Flit) {
+	if s.xbSecPresent != (r.xbProt != nil) {
+		panic("core: RestoreState: snapshot crossbar protection does not match the router's configuration")
+	}
 	P, V := r.cfg.Ports, r.cfg.VCs
 	scratch := make([]*flit.Flit, 0, r.cfg.Depth)
 	for p := 0; p < P; p++ {
@@ -185,6 +189,7 @@ func (r *Router) RestoreState(s *RouterState, cloneFlit func(*flit.Flit) *flit.F
 		b.Arb.SetFaulty(s.sa1ArbFault[p])
 		b.SetBypassFaulty(s.sa1BypFault[p])
 		r.sa.Stage2(p).SetPrio(s.sa2Prio[p])
+		r.sa.Stage2(p).SetFaulty(s.sa2Faulty[p])
 		r.rc[p].SetFaulty(0, s.rcFaulty[p][0])
 		if r.cfg.FaultTolerant {
 			r.rc[p].SetFaulty(1, s.rcFaulty[p][1])
@@ -297,6 +302,7 @@ func (r *Router) AppendCanonical(b []byte) []byte {
 		b = appB(b, sa1.Arb.Faulty())
 		b = appB(b, sa1.BypassFaulty())
 		b = appI(b, r.sa.Stage2(p).Prio())
+		b = appB(b, r.sa.Stage2(p).Faulty())
 		b = appB(b, r.rc[p].Faulty(0))
 		if r.cfg.FaultTolerant {
 			b = appB(b, r.rc[p].Faulty(1))

@@ -17,7 +17,26 @@
 // (M2 and M4 faulty is tolerable; any further mux fault causes failure).
 package crossbar
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Traverse failure modes, returned as shared sentinel errors so the
+// router's hot path pays no allocation when a grant meets a fresh fault:
+// callers branch on nil-ness (and may errors.Is against these), and the
+// fault site is identified by the grant being cancelled, not by error
+// text.
+var (
+	// ErrMuxFaulty reports a traversal through a faulty pi:1 output mux.
+	ErrMuxFaulty = errors.New("crossbar: output mux is faulty")
+	// ErrMuxInUse reports a second traversal through a mux already
+	// carrying a flit this cycle (an allocation bug in the caller).
+	ErrMuxInUse = errors.New("crossbar: output mux already used this cycle")
+	// ErrSecondaryFaulty reports a traversal directed through a faulty
+	// secondary path.
+	ErrSecondaryFaulty = errors.New("crossbar: secondary path is faulty")
+)
 
 // Baseline is the unprotected P×P crossbar: one pi:1 output multiplexer
 // per output port, a single path to each output.
@@ -62,10 +81,10 @@ func (x *Baseline) BeginCycle() {
 // cycle (an allocation bug).
 func (x *Baseline) Traverse(in, out int) error {
 	if x.faulty[out] {
-		return fmt.Errorf("crossbar: mux M%d is faulty", out)
+		return ErrMuxFaulty
 	}
 	if x.inUse[out] != -1 {
-		return fmt.Errorf("crossbar: mux M%d already used by input %d this cycle", out, x.inUse[out])
+		return ErrMuxInUse
 	}
 	x.inUse[out] = in
 	return nil
@@ -166,15 +185,15 @@ func (x *Protected) Traverse(in, out int, secondary bool) error {
 	mux := out
 	if secondary {
 		if x.secFaulty[out] {
-			return fmt.Errorf("crossbar: secondary path of out%d is faulty", out)
+			return ErrSecondaryFaulty
 		}
 		mux = x.SecondaryOf(out)
 	}
 	if x.muxFaulty[mux] {
-		return fmt.Errorf("crossbar: mux M%d is faulty", mux)
+		return ErrMuxFaulty
 	}
 	if x.inUse[mux] != -1 {
-		return fmt.Errorf("crossbar: mux M%d already used by input %d this cycle", mux, x.inUse[mux])
+		return ErrMuxInUse
 	}
 	x.inUse[mux] = in
 	return nil

@@ -151,20 +151,24 @@ func DefaultConfig() Config {
 // Network is a complete NoC: routers, links and network interfaces on
 // the configured topology.
 type Network struct {
-	cfg  Config
+	cfg Config //noc:derived immutable configuration, fixed at construction
+	//noc:derived immutable configuration, fixed at construction
 	topo topology.Topology
 	// mesh is the underlying mesh router grid exposed by the Mesh()
 	// accessor: the mesh itself, or the cmesh's router grid. hasMesh is
 	// false for the torus, whose wrap links make it not a mesh (use
 	// Topo() there). Fault-aware routing runs on topo directly for all
 	// families.
-	mesh    topology.Mesh
+	//noc:derived immutable configuration, derived from topo at build time
+	mesh topology.Mesh
+	//noc:derived immutable configuration, derived from topo at build time
 	hasMesh bool
 
 	// baseRoute is the RouteFn installed while the network is fault
 	// free: nil for mesh/cmesh (the routers' built-in XY computation)
 	// and torusRoute for a torus. rebuildRoutes restores it when the
 	// last network fault is repaired.
+	//noc:derived immutable wiring, fixed at construction; rebuildRoutes reinstalls it
 	baseRoute core.RouteFn
 
 	// ports is the per-router port count. nbr and wrap are the link
@@ -173,28 +177,35 @@ type Network struct {
 	// no link) and wrap marks torus dateline links. Baking them here
 	// keeps the hot commit and routing paths free of per-flit
 	// coordinate arithmetic.
-	ports int
-	nbr   []int32
-	wrap  []bool
+	ports int     //noc:derived immutable link table, baked at build time
+	nbr   []int32 //noc:derived immutable link table, baked at build time
+	wrap  []bool  //noc:derived immutable link table, baked at build time
 
 	routers []*core.Router
 	nis     []*NI
+	//noc:derived external input source, outside the snapshot scope by contract (drivers re-seed it)
 	traffic Traffic
-	stats   *stats.Collector
+	//noc:derived observational only: saved and restored, but excluded from the canonical encoding because statistics never feed arbitration
+	stats *stats.Collector
 	cycle   sim.Cycle //noc:committed
-	nextID  uint64    //noc:committed
+	//noc:committed
+	//noc:derived saved and restored, but excluded from the canonical encoding like the packet IDs it mints: bookkeeping identity, never behaviour
+	nextID uint64
 
 	// hooks run at the start of every cycle (fault injection, probes).
+	//noc:derived immutable wiring, registered before stepping starts
 	hooks []func(c sim.Cycle)
 
 	// linkFlits counts flits sent per (router, output port), for
 	// utilization analysis and the heatmap.
 	//
 	//noc:committed
+	//noc:derived observational only: saved and restored, but excluded from the canonical encoding because utilization counts never feed arbitration
 	linkFlits [][]uint64
 
 	// obsNodes holds each node's pre-bound observability handle, all nil
 	// when cfg.Router.Obs is nil (the default).
+	//noc:derived immutable wiring, bound at construction; observational only
 	obsNodes []*obs.NodeObs
 
 	// Link latches, indexed by destination node: filled by the commit
@@ -211,8 +222,8 @@ type Network struct {
 	// commit phase. Each entry aliases the producing router's reusable
 	// output buffer: valid from the end of the node's compute until
 	// that router's next Tick.
-	stagedFlits   [][]router.OutFlit
-	stagedCredits [][]router.Credit
+	stagedFlits   [][]router.OutFlit //noc:derived per-cycle scratch, consumed by commit before the step boundary
+	stagedCredits [][]router.Credit  //noc:derived per-cycle scratch, consumed by commit before the step boundary
 
 	// Network-level fault state. linkDead is the explicit per-(node,
 	// port) dead-link set (kept symmetric: both endpoints of a link are
@@ -221,7 +232,9 @@ type Network struct {
 	// routing is then the exact XY baseline.
 	linkDead   [][]bool    //noc:committed
 	routerDead []bool      //noc:committed
-	routes     *routeTable //noc:committed
+	//noc:committed
+	//noc:derived recomputed on restore: rebuildRoutes reconstructs it from linkDead/routerDead, which the snapshot covers
+	routes *routeTable
 
 	// Per-(node, output port, downstream VC) wormhole link state.
 	// midFlight marks a packet whose head crossed the link while it was
@@ -233,7 +246,9 @@ type Network struct {
 	// other nodes' latches.
 	midFlight       [][][]bool //noc:committed
 	linkDrop        [][][]bool //noc:committed
-	linkDropsActive int        //noc:committed
+	//noc:committed
+	//noc:derived excluded from the canonical encoding: it is the count of set linkDrop bits, which are encoded
+	linkDropsActive int
 
 	// End-to-end retransmission state: per-source sequence numbers,
 	// retransmission buffers, and per-sink duplicate-suppression windows
@@ -241,13 +256,14 @@ type Network struct {
 	seqNext   []uint64             //noc:committed
 	retx      [][]retxEntry        //noc:committed
 	delivered []map[int]*seqWindow //noc:committed
-	retxCfg   RetxConfig
+	//noc:derived immutable configuration, resolved from cfg.Retx at construction
+	retxCfg RetxConfig
 
 	// workers is the resolved parallel-phase shard count (>= 1); pool is
 	// the persistent worker pool, started lazily on the first parallel
 	// phase and released by Close.
-	workers int
-	pool    *stepPool
+	workers int       //noc:derived immutable execution-engine configuration, not simulated state
+	pool    *stepPool //noc:derived execution-engine plumbing, not simulated state
 }
 
 // retxEntry is one unacknowledged packet in a source's retransmission
@@ -612,6 +628,7 @@ func (n *Network) runPhase(phase stepPhase, c sim.Cycle) {
 // //noc:commit-only function or writes a //noc:committed field.
 //
 //noc:compute-phase
+//noc:hot-path
 func (n *Network) computeNode(id int, c sim.Cycle) {
 	r := n.routers[id]
 	for _, w := range n.inFlits[id] {
@@ -728,6 +745,7 @@ func (n *Network) commitLocal(c sim.Cycle) {
 // runs bit-exact by construction.
 //
 //noc:commit-only
+//noc:hot-path
 func (n *Network) commitLinksNode(u int, c sim.Cycle) {
 	for p := topology.Port(1); int(p) < n.ports; p++ {
 		v := n.neighbor(u, p)

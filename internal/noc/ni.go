@@ -15,9 +15,9 @@ import (
 // cycle into the router. On the ejection side it consumes flits arriving
 // at the local output port instantly and returns credits.
 type NI struct {
-	node int
-	r    routerCore
-	cfg  router.Config
+	node int           //noc:derived immutable identity, fixed at construction
+	r    routerCore    //noc:derived immutable wiring, fixed at construction
+	cfg  router.Config //noc:derived immutable configuration, fixed at construction
 
 	// queues holds packets waiting for a VC, one queue per message class.
 	queues [][]*flit.Packet
@@ -25,7 +25,8 @@ type NI struct {
 	// flits (empty when the VC is idle); activeVCs counts the non-empty
 	// entries. A dense slice instead of a map keeps the per-cycle send
 	// scan allocation-free.
-	active    [][]*flit.Flit
+	active [][]*flit.Flit
+	//noc:derived excluded from the canonical encoding: it is the count of non-empty active entries, which are encoded
 	activeVCs int
 	// vcBusy and credits track the router's local input VCs.
 	vcBusy  []bool
@@ -35,9 +36,11 @@ type NI struct {
 
 	// eject assembles arriving packets; flits of a packet arrive in
 	// order, so we only track the count per packet.
+	//noc:derived immutable wiring, fixed at construction
 	onEject func(*flit.Packet, sim.Cycle)
 
 	// obs is the node's observability handle (nil when disabled).
+	//noc:derived immutable wiring, bound at construction; observational only
 	obs *obs.NodeObs
 }
 
@@ -138,6 +141,7 @@ func (ni *NI) tick(cy sim.Cycle) {
 			ni.queues[cls] = ni.queues[cls][1:]
 			p.InjectedAt = cy
 			ni.vcBusy[v] = true
+			//nocvet:ignore hotpathalloc segmentation allocates per injected packet, not per steady-state cycle; the zero-alloc contract pins the post-transient loop
 			ni.active[v] = flit.Segment(p)
 			ni.activeVCs++
 			break
@@ -156,6 +160,7 @@ func (ni *NI) tick(cy sim.Cycle) {
 			continue
 		}
 		f := fl[0]
+		//nocvet:ignore hotpathalloc routerCore is always *core.Router, whose AcceptFlit is a self-append into a pre-capped latch
 		ni.r.AcceptFlit(router.InFlit{In: localPort, VC: v, F: f})
 		if ni.obs != nil {
 			ni.obs.NIFlitSent()

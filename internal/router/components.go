@@ -49,6 +49,7 @@ func (u *RCUnit) Compute(cur, dst int) (topology.Port, bool) {
 	if !u.Usable() {
 		return topology.Local, false
 	}
+	//nocvet:ignore hotpathalloc topology Route implementations are pure coordinate arithmetic
 	return u.topo.Route(cur, dst), true
 }
 

@@ -71,6 +71,7 @@ const None = -1
 // VC is a single virtual channel: a flit FIFO plus state fields.
 type VC struct {
 	// Index is this VC's position within its input port.
+	//noc:derived immutable slot identity, fixed at construction
 	Index int
 
 	buf   []*flit.Flit
@@ -99,6 +100,7 @@ type VC struct {
 	// stall scan attributes the packet's waits to the fault
 	// (route-blocked) while it holds — and never feeds back into
 	// arbitration.
+	//noc:derived observational only: saved and restored, but excluded from the canonical encoding because it never feeds arbitration
 	Detour bool
 
 	// CreditHome is the VC index the upstream router believes these flits
@@ -247,6 +249,7 @@ func (ip *InputPort) FindLender(requester int, arbFaulty func(vcIdx int) bool) i
 		if v.Index == requester {
 			continue
 		}
+		//nocvet:ignore hotpathalloc non-escaping predicate: callers pass stack closures FindLender never retains
 		if arbFaulty != nil && arbFaulty(v.Index) {
 			continue
 		}
